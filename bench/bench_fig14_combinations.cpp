@@ -1,0 +1,40 @@
+// Fig. 14: identified best precision combinations [Mqkv, Mo, Mu, Md]
+// per model, dataset and accuracy tolerance.
+
+#include <cstdio>
+
+#include "common/result_cache.h"
+#include "common/table.h"
+#include "search/harness.h"
+
+int
+main()
+{
+    using namespace anda;
+    ResultCache cache(default_cache_path());
+
+    for (double delta : {0.001, 0.01}) {
+        std::vector<std::string> headers = {"model"};
+        for (const auto &d : standard_datasets()) {
+            headers.push_back(d.name);
+        }
+        Table table(headers);
+        table.set_title("Fig. 14: best [Mqkv, Mo, Mu, Md] at " +
+                        fmt_pct(delta * 100, 1) + " tolerance");
+        for (const auto &model : model_zoo()) {
+            std::vector<std::string> row = {model.name};
+            for (const auto &dataset : standard_datasets()) {
+                SearchHarness h(model, dataset, &cache);
+                const SearchResult res = h.search(delta, 32);
+                row.push_back(res.best ? to_string(*res.best) : "none");
+            }
+            table.add_row(row);
+        }
+        std::fputs(table.to_string().c_str(), stdout);
+        std::puts("");
+    }
+    std::puts("paper pattern: A_qkv keeps the most bits; A_u/A_d (esp. "
+              "A_d on OPT) tolerate aggressive quantization;\nLLaMA "
+              "family needs more bits than OPT overall");
+    return 0;
+}

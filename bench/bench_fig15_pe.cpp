@@ -1,0 +1,55 @@
+// Fig. 15: PE-level area, power, area efficiency, and energy
+// efficiency, normalized to the GPU-like FP-FP baseline.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/pe_models.h"
+
+int
+main()
+{
+    using namespace anda;
+    const PeMetrics fpfp = pe_metrics(PeType::kFpFp);
+
+    Table ab({"PE", "area mm2", "power mW", "norm area", "norm power"});
+    ab.set_title("Fig. 15(a,b): PE area and power (64-MAC/cycle units, "
+                 "16 nm @285 MHz)");
+    for (PeType t : all_pe_types()) {
+        const PeMetrics m = pe_metrics(t);
+        ab.add_row({to_string(t), fmt(m.area_mm2, 5), fmt(m.power_mw, 3),
+                    fmt(m.area_mm2 / fpfp.area_mm2, 3),
+                    fmt(m.power_mw / fpfp.power_mw, 3)});
+    }
+    std::fputs(ab.to_string().c_str(), stdout);
+
+    // Efficiency: throughput / area (or power). Bit-parallel designs
+    // run at their full rate; the Anda unit finishes a group in M+1 of
+    // its 16 plane slots, so throughput scales by 16/(M+1).
+    Table eff({"PE", "rel throughput", "area eff (norm)",
+               "energy eff (norm)"});
+    eff.set_title("\nFig. 15(c,d): area and energy efficiency, "
+                  "normalized to FP-FP");
+    auto add = [&](const std::string &name, PeType t, double thpt) {
+        const PeMetrics m = pe_metrics(t);
+        eff.add_row({name, fmt(thpt, 3),
+                     fmt(thpt / (m.area_mm2 / fpfp.area_mm2), 2),
+                     fmt(thpt / (m.power_mw / fpfp.power_mw), 2)});
+    };
+    add("FP-FP", PeType::kFpFp, 1.0);
+    add("FP-INT", PeType::kFpInt, 1.0);
+    add("iFPU", PeType::kIfpu, 1.0);
+    add("FIGNA", PeType::kFigna, 1.0);
+    add("FIGNA-M11", PeType::kFignaM11, 1.0);
+    add("FIGNA-M8", PeType::kFignaM8, 1.0);
+    for (int m = 13; m >= 4; --m) {
+        add("Anda-M" + std::to_string(m), PeType::kAnda,
+            16.0 / anda_cycles_per_group(m));
+    }
+    std::fputs(eff.to_string().c_str(), stdout);
+    std::puts("\npaper Fig.15 reference: area {1.00 0.63 0.26 0.18 0.15 "
+              "0.12 0.23}, power {1.00 0.52 0.28 0.17 0.12 0.10 0.20},\n"
+              "area-eff Anda-M13..M4 {4.96..13.89}, energy-eff Anda-"
+              "M13..M4 {5.74..16.07}");
+    return 0;
+}

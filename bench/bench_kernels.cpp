@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) of the format conversion and
+// GeMM kernels: the software cost of the operations the Anda hardware
+// accelerates.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "format/compressor.h"
+#include "kernels/gemm.h"
+
+namespace {
+
+using namespace anda;
+
+std::vector<float>
+random_values(std::size_t n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v) {
+        x = static_cast<float>(rng.normal(0.0, 2.0));
+    }
+    return v;
+}
+
+Matrix
+random_matrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    Matrix m(r, c);
+    for (auto &x : m.flat()) {
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    return m;
+}
+
+void
+BM_Fp16Round(benchmark::State &state)
+{
+    const auto vals = random_values(4096, 1);
+    for (auto _ : state) {
+        float acc = 0.0f;
+        for (float v : vals) {
+            acc += fp16_round(v);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Fp16Round);
+
+void
+BM_BfpRoundtrip(benchmark::State &state)
+{
+    const auto vals = random_values(4096, 2);
+    std::vector<float> out(vals.size());
+    const BfpParams params{64, static_cast<int>(state.range(0))};
+    for (auto _ : state) {
+        bfp_roundtrip(vals, std::span<float>(out), params);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BfpRoundtrip)->Arg(4)->Arg(8)->Arg(13);
+
+void
+BM_AndaEncode(benchmark::State &state)
+{
+    const auto vals = random_values(4096, 3);
+    for (auto _ : state) {
+        auto t =
+            AndaTensor::encode(vals, static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(t.group_count());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AndaEncode)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_BpcCompressLane(benchmark::State &state)
+{
+    const auto vals = random_values(64, 4);
+    for (auto _ : state) {
+        auto lane = bpc_compress_lane(vals, 8);
+        benchmark::DoNotOptimize(lane.sign_plane);
+    }
+}
+BENCHMARK(BM_BpcCompressLane);
+
+void
+BM_GemmFp16Dequant(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = random_matrix(32, 512, 5);
+    const Matrix w = random_matrix(n, 512, 6);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    for (auto _ : state) {
+        Matrix c = gemm_fp16_dequant(a, q);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32 * 512 * n);
+}
+BENCHMARK(BM_GemmFp16Dequant)->Arg(64)->Arg(256);
+
+void
+BM_GemmAndaBitExact(benchmark::State &state)
+{
+    const Matrix a = random_matrix(8, 256, 7);
+    const Matrix w = random_matrix(64, 256, 8);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    AndaGemmOptions opts;
+    opts.mantissa_bits = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Matrix c = gemm_anda(a, q, opts);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 256 * 64);
+}
+BENCHMARK(BM_GemmAndaBitExact)->Arg(4)->Arg(8)->Arg(13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

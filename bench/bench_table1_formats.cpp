@@ -1,0 +1,35 @@
+// Table I: Anda format definition in contrast with prior BFP formats.
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.h"
+#include "format/format_registry.h"
+
+int
+main()
+{
+    using namespace anda;
+    Table table({"BFP Type", "Flexibility", "Mantissa (compute)",
+                 "Computation", "Compute Data", "Storage"});
+    table.set_title(
+        "Table I: Anda format definition vs prior BFP formats");
+    for (const auto &f : format_table()) {
+        std::ostringstream lens;
+        if (f.flexibility == MantissaFlexibility::kVariable) {
+            lens << f.mantissa_lengths.front() << "b/"
+                 << f.mantissa_lengths[1] << "b/.../"
+                 << f.mantissa_lengths.back() << "b";
+        } else {
+            for (std::size_t i = 0; i < f.mantissa_lengths.size(); ++i) {
+                lens << (i ? "/" : "") << f.mantissa_lengths[i] << "b";
+            }
+        }
+        table.add_row({f.name, to_string(f.flexibility), lens.str(),
+                       to_string(f.compute_style),
+                       to_string(f.compute_datatype),
+                       to_string(f.storage)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,32 @@
+// Table III: area and power characteristics of the Anda system.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/area.h"
+
+int
+main()
+{
+    using namespace anda;
+    const ComponentBreakdown b = anda_breakdown({7.0, 0.95});
+    Table table({"Component", "Setup", "Area [mm2]", "Area %",
+                 "Power [mW]", "Power %"});
+    table.set_title("Table III: Anda area and power breakdown "
+                    "(LLaMA-13B operating point)");
+    for (const auto &row : b.rows) {
+        table.add_row({row.name, row.setup, fmt(row.area_mm2, 3),
+                       fmt_pct(100.0 * row.area_mm2 / b.total_area_mm2,
+                               1),
+                       fmt(row.power_mw, 2),
+                       fmt_pct(100.0 * row.power_mw / b.total_power_mw,
+                               1)});
+    }
+    table.add_row({"Total", "", fmt(b.total_area_mm2, 2), "100.0%",
+                   fmt(b.total_power_mw, 2), "100.0%"});
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("\npaper Table III reference: MXU 0.41mm2/54.34mW, BPC "
+              "0.07/1.06, Vector 0.05/0.87,\nActBuf 0.87/16.94, WgtBuf "
+              "0.80/7.96, total 2.17mm2 / 81.18mW");
+    return 0;
+}

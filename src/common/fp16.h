@@ -1,0 +1,96 @@
+#pragma once
+
+/// @file
+/// Software implementation of IEEE 754 binary16 ("FP16").
+///
+/// The Anda pipeline starts from genuine FP16 activations (the W4A16
+/// deployment format of the paper), so conversions must be bit-exact:
+/// round-to-nearest-even on float32 -> float16, full subnormal support,
+/// and lossless float16 -> float32 widening.
+
+#include <cstdint>
+
+namespace anda {
+
+/// A 16-bit IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+/// This is a plain value type: cheap to copy, trivially hashable.
+class Fp16 {
+  public:
+    /// Number of explicit mantissa (fraction) bits in the format.
+    static constexpr int kMantissaBits = 10;
+    /// Number of exponent bits.
+    static constexpr int kExponentBits = 5;
+    /// Exponent bias.
+    static constexpr int kBias = 15;
+
+    constexpr Fp16() = default;
+
+    /// Converts a float32 with IEEE round-to-nearest-even.
+    explicit Fp16(float value) : bits_(from_float_bits(value)) {}
+
+    /// Wraps a raw bit pattern without conversion.
+    static constexpr Fp16 from_bits(std::uint16_t bits)
+    {
+        Fp16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /// Widens to float32 (exact; every FP16 value is representable).
+    float to_float() const;
+
+    /// Raw 16-bit pattern.
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /// Sign bit (1 = negative).
+    constexpr int sign() const { return (bits_ >> 15) & 0x1; }
+
+    /// Biased exponent field (0 = zero/subnormal, 31 = inf/NaN).
+    constexpr int biased_exponent() const { return (bits_ >> 10) & 0x1f; }
+
+    /// Raw 10-bit mantissa field (without the hidden bit).
+    constexpr int mantissa_field() const { return bits_ & 0x3ff; }
+
+    /// 11-bit significand including the hidden bit for normal numbers.
+    /// For subnormals the hidden bit is 0.
+    constexpr int significand() const
+    {
+        const int hidden = biased_exponent() == 0 ? 0 : 1;
+        return (hidden << kMantissaBits) | mantissa_field();
+    }
+
+    constexpr bool is_zero() const { return (bits_ & 0x7fff) == 0; }
+    constexpr bool is_subnormal() const
+    {
+        return biased_exponent() == 0 && mantissa_field() != 0;
+    }
+    constexpr bool is_inf() const
+    {
+        return biased_exponent() == 0x1f && mantissa_field() == 0;
+    }
+    constexpr bool is_nan() const
+    {
+        return biased_exponent() == 0x1f && mantissa_field() != 0;
+    }
+
+    friend constexpr bool operator==(Fp16 a, Fp16 b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
+  private:
+    static std::uint16_t from_float_bits(float value);
+
+    std::uint16_t bits_ = 0;
+};
+
+/// Rounds a float32 through FP16 and back; the canonical "activations are
+/// stored as FP16" operation applied throughout the model substrate.
+float fp16_round(float value);
+
+/// Largest finite FP16 value (65504).
+constexpr float kFp16Max = 65504.0f;
+
+}  // namespace anda

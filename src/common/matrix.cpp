@@ -1,0 +1,37 @@
+#include "matrix.h"
+
+#include <cmath>
+
+namespace anda {
+
+double
+max_abs_diff(const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    double m = 0.0;
+    const auto fa = a.flat();
+    const auto fb = b.flat();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        m = std::max(m, std::abs(static_cast<double>(fa[i]) - fb[i]));
+    }
+    return m;
+}
+
+double
+rms_diff(const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    const auto fa = a.flat();
+    const auto fb = b.flat();
+    if (fa.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        const double d = static_cast<double>(fa[i]) - fb[i];
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(fa.size()));
+}
+
+}  // namespace anda

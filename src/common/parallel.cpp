@@ -1,0 +1,64 @@
+#include "parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace anda {
+
+std::size_t
+default_thread_count()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void
+parallel_for_chunked(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)> &fn,
+                     std::size_t max_threads)
+{
+    if (begin >= end) {
+        return;
+    }
+    const std::size_t n = end - begin;
+    std::size_t workers = max_threads == 0 ? default_thread_count()
+                                           : max_threads;
+    workers = std::min(workers, n);
+    if (workers <= 1) {
+        fn(begin, end);
+        return;
+    }
+    const std::size_t chunk = (n + workers - 1) / workers;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t lo = begin + w * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        if (lo >= hi) {
+            break;
+        }
+        pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+    }
+    for (auto &t : pool) {
+        t.join();
+    }
+}
+
+void
+parallel_for(std::size_t begin, std::size_t end,
+             const std::function<void(std::size_t)> &fn,
+             std::size_t max_threads)
+{
+    parallel_for_chunked(
+        begin, end,
+        [&fn](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                fn(i);
+            }
+        },
+        max_threads);
+}
+
+}  // namespace anda

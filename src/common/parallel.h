@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file
+/// Simple blocking parallel-for over an index range.
+///
+/// Accuracy experiments evaluate many independent sequences per forward
+/// pass; parallelizing over sequences (and over output rows inside large
+/// GeMMs) keeps the full Table II sweep on a laptop budget.
+
+#include <cstddef>
+#include <functional>
+
+namespace anda {
+
+/// Runs fn(i) for i in [begin, end) across up to max_threads workers.
+///
+/// Falls back to serial execution for tiny ranges. Exceptions thrown by
+/// fn terminate the process (workloads here are noexcept by design).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)> &fn,
+                  std::size_t max_threads = 0);
+
+/// Like parallel_for but hands each worker a contiguous [lo, hi) chunk,
+/// which avoids per-index dispatch overhead in hot loops.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)> &fn,
+    std::size_t max_threads = 0);
+
+/// Number of worker threads parallel_for will use by default.
+std::size_t default_thread_count();
+
+}  // namespace anda

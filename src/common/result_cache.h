@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file
+/// Persistent string-key -> double result cache.
+///
+/// Accuracy evaluations dominate experiment runtime: a single perplexity
+/// measurement is a full forward pass over the calibration corpus.
+/// Table II, Fig. 14 and Fig. 18 all search over the same precision
+/// combinations, so benches share evaluations through this cache
+/// (one line per entry: "<key>\t<value>"). Deleting the file is always
+/// safe; it only trades time for recomputation.
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace anda {
+
+/// Thread-safe, file-backed memo table.
+class ResultCache {
+  public:
+    /// Loads any existing entries from path. Pass an empty path for a
+    /// purely in-memory cache.
+    explicit ResultCache(std::string path);
+
+    /// Looks up a key.
+    std::optional<double> get(const std::string &key) const;
+
+    /// Inserts (or overwrites) and appends to the backing file.
+    void put(const std::string &key, double value);
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::unordered_map<std::string, double> map_;
+};
+
+}  // namespace anda

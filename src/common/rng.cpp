@@ -1,0 +1,25 @@
+#include "rng.h"
+
+namespace anda {
+
+double
+SplitMix64::normal()
+{
+    if (has_cached_) {
+        has_cached_ = false;
+        return cached_;
+    }
+    // Box-Muller. Guard against log(0).
+    double u1 = uniform();
+    while (u1 <= 1e-300) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+}
+
+}  // namespace anda

@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file
+/// Deterministic, platform-independent random number generation.
+///
+/// std::normal_distribution is implementation-defined, so every stochastic
+/// piece of the repository (synthetic weights, corpora, calibration data)
+/// draws from these generators to keep results reproducible bit-for-bit
+/// across standard libraries.
+
+#include <cstdint>
+#include <cmath>
+
+namespace anda {
+
+/// SplitMix64: tiny, high-quality 64-bit PRNG used as the base generator.
+class SplitMix64 {
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /// Next 64 uniformly distributed bits.
+    constexpr std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform float in [lo, hi).
+    float uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /// Uniform integer in [0, n). n must be > 0.
+    std::uint64_t uniform_index(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /// Standard normal deviate (Box-Muller; consumes two uniforms).
+    double normal();
+
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /// Log-normal deviate: exp(N(mu, sigma)). Heavy-tailed for sigma > 1;
+    /// used to implant per-channel activation outlier scales.
+    double lognormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+  private:
+    std::uint64_t state_;
+    bool has_cached_ = false;
+    double cached_ = 0.0;
+};
+
+/// Derives a child seed from a parent seed and a stream label, so modules
+/// can carve independent deterministic streams out of one experiment seed.
+constexpr std::uint64_t
+derive_seed(std::uint64_t parent, std::uint64_t stream)
+{
+    SplitMix64 mix(parent ^ (0x517cc1b727220a95ull * (stream + 1)));
+    return mix.next();
+}
+
+}  // namespace anda

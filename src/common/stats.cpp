@@ -1,0 +1,45 @@
+#include "stats.h"
+
+namespace anda {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (double x : xs) {
+        s += x;
+    }
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (double x : xs) {
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs) {
+        s += (x - m) * (x - m);
+    }
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace anda

@@ -1,0 +1,21 @@
+#pragma once
+
+/// @file
+/// Small statistical helpers shared by benches and tests.
+
+#include <cmath>
+#include <span>
+
+namespace anda {
+
+/// Arithmetic mean of a span (0 for empty input).
+double mean(std::span<const double> xs);
+
+/// Geometric mean (inputs must be positive; 0 for empty input).
+/// The paper reports geometric means across models in Fig. 16.
+double geomean(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+}  // namespace anda

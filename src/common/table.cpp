@@ -1,0 +1,97 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace anda {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    row.resize(headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    if (!title_.empty()) {
+        out << title_ << "\n";
+    }
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " ");
+            out << row[c];
+            out << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+    emit_row(headers_);
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out << std::string(width[c] + 2, '-') << "|";
+    }
+    out << "\n";
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+Table::to_csv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) {
+                out << ",";
+            }
+            out << row[c];
+        }
+        out << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return out.str();
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmt_x(double v, int decimals)
+{
+    return fmt(v, decimals) + "x";
+}
+
+std::string
+fmt_pct(double v, int decimals)
+{
+    return fmt(v, decimals) + "%";
+}
+
+}  // namespace anda

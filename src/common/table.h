@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file
+/// ASCII table builder used by every benchmark harness to print the rows
+/// and series the paper's tables/figures report.
+
+#include <string>
+#include <vector>
+
+namespace anda {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class Table {
+  public:
+    /// Creates a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends one row; the row is padded/truncated to the header width.
+    void add_row(std::vector<std::string> row);
+
+    /// Renders with column alignment, a header rule, and optional title.
+    std::string to_string() const;
+
+    /// Renders as CSV (no alignment padding), for downstream plotting.
+    std::string to_csv() const;
+
+    /// Sets a title printed above the table.
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    std::size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string fmt(double v, int decimals = 2);
+
+/// Formats a multiplicative factor like "2.49x".
+std::string fmt_x(double v, int decimals = 2);
+
+/// Formats a percentage like "-0.74%".
+std::string fmt_pct(double v, int decimals = 2);
+
+}  // namespace anda

@@ -1,0 +1,125 @@
+#include "anda_tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace anda {
+
+AndaTensor
+AndaTensor::encode(std::span<const float> values, int mantissa_bits)
+{
+    if (mantissa_bits < 1 || mantissa_bits > kAndaMaxMantissa) {
+        throw std::invalid_argument(
+            "Anda mantissa length must be in [1, 16]");
+    }
+    AndaTensor t;
+    t.mantissa_bits_ = mantissa_bits;
+    t.size_ = values.size();
+    const std::size_t n_groups =
+        (values.size() + kAndaGroupSize - 1) / kAndaGroupSize;
+    t.groups_.resize(n_groups);
+
+    BfpParams params;
+    params.group_size = kAndaGroupSize;
+    params.mantissa_bits = mantissa_bits;
+
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        const std::size_t base = g * kAndaGroupSize;
+        const std::size_t len =
+            std::min<std::size_t>(kAndaGroupSize, values.size() - base);
+        const BfpGroup enc =
+            encode_bfp_group(values.subspan(base, len), params);
+
+        AndaGroup &out = t.groups_[g];
+        out.shared_exponent =
+            static_cast<std::uint8_t>(enc.shared_exponent);
+        for (std::size_t i = 0; i < len; ++i) {
+            const BfpElement &e = enc.elems[i];
+            if (e.sign) {
+                out.sign_plane |= (1ull << i);
+            }
+            // Plane p holds mantissa bit (M-1-p): plane 0 is the MSB,
+            // matching the order the bit-plane compressor emits.
+            for (int p = 0; p < mantissa_bits; ++p) {
+                const int bit = mantissa_bits - 1 - p;
+                if ((e.mantissa >> bit) & 1u) {
+                    out.mant_planes[p] |= (1ull << i);
+                }
+            }
+        }
+    }
+    return t;
+}
+
+void
+AndaTensor::decode_group(std::size_t g, std::span<float> out) const
+{
+    assert(g < groups_.size());
+    assert(out.size() >= kAndaGroupSize);
+    const AndaGroup &grp = groups_[g];
+    const float scale =
+        bfp_group_scale(grp.shared_exponent, mantissa_bits_);
+    for (int i = 0; i < kAndaGroupSize; ++i) {
+        std::uint32_t mant = 0;
+        for (int p = 0; p < mantissa_bits_; ++p) {
+            mant = (mant << 1) |
+                   static_cast<std::uint32_t>((grp.mant_planes[p] >> i) & 1u);
+        }
+        const float mag = static_cast<float>(mant) * scale;
+        out[i] = ((grp.sign_plane >> i) & 1u) ? -mag : mag;
+    }
+}
+
+std::vector<float>
+AndaTensor::decode() const
+{
+    std::vector<float> out(size_);
+    float buf[kAndaGroupSize];
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        decode_group(g, buf);
+        const std::size_t base = g * kAndaGroupSize;
+        const std::size_t len =
+            std::min<std::size_t>(kAndaGroupSize, size_ - base);
+        std::copy_n(buf, len, out.begin() + base);
+    }
+    return out;
+}
+
+std::uint32_t
+AndaTensor::mantissa_of(std::size_t i) const
+{
+    assert(i < size_);
+    const AndaGroup &grp = groups_[i / kAndaGroupSize];
+    const int lane = static_cast<int>(i % kAndaGroupSize);
+    std::uint32_t mant = 0;
+    for (int p = 0; p < mantissa_bits_; ++p) {
+        mant = (mant << 1) |
+               static_cast<std::uint32_t>((grp.mant_planes[p] >> lane) & 1u);
+    }
+    return mant;
+}
+
+int
+AndaTensor::sign_of(std::size_t i) const
+{
+    assert(i < size_);
+    const AndaGroup &grp = groups_[i / kAndaGroupSize];
+    return static_cast<int>((grp.sign_plane >> (i % kAndaGroupSize)) & 1u);
+}
+
+std::size_t
+AndaTensor::storage_bits() const
+{
+    return groups_.size() *
+           (kAndaGroupSize * (1 + mantissa_bits_) + 8);
+}
+
+double
+AndaTensor::bits_per_element(int mantissa_bits)
+{
+    return 1.0 + mantissa_bits + 8.0 / kAndaGroupSize;
+}
+
+}  // namespace anda

@@ -1,0 +1,86 @@
+#pragma once
+
+/// @file
+/// The Anda data format: a variable-length grouped activation tensor.
+///
+/// Anda is BFP with (a) a fixed hardware group size of 64, (b) a
+/// per-tensor mantissa length selectable from 1..16 bits, and (c) a
+/// bit-plane transposed memory layout (paper Fig. 10): bits of equal
+/// significance across the 64 group members are packed into one 64-bit
+/// word, so a tensor with mantissa length M occupies exactly 1 sign
+/// plane + M mantissa planes + one shared-exponent byte per group,
+/// regardless of M. This keeps memory accesses regular for any M and
+/// feeds the bit-serial APU one plane per cycle.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "format/bfp.h"
+
+namespace anda {
+
+/// Hardware group size of the Anda format (values per shared exponent).
+inline constexpr int kAndaGroupSize = 64;
+
+/// Maximum supported mantissa length.
+inline constexpr int kAndaMaxMantissa = 16;
+
+/// One encoded group in bit-plane layout.
+struct AndaGroup {
+    /// Sign bits of the 64 members (bit i = member i, 1 = negative).
+    std::uint64_t sign_plane = 0;
+    /// Mantissa bit-planes, most significant plane first. Only the first
+    /// mantissa_bits entries are meaningful.
+    std::uint64_t mant_planes[kAndaMaxMantissa] = {};
+    /// Shared biased FP16 exponent.
+    std::uint8_t shared_exponent = 0;
+};
+
+/// An activation tensor encoded in the Anda format.
+///
+/// Logical shape is a flat run of values grouped in consecutive blocks
+/// of 64 (callers lay out the reduction dimension contiguously, so one
+/// group is one dot-product chunk). A trailing partial group is padded
+/// with zeros, which are exact in BFP.
+class AndaTensor {
+  public:
+    AndaTensor() = default;
+
+    /// Encodes values with the given mantissa length (1..16).
+    /// Values are rounded through FP16 first, as in deployment.
+    static AndaTensor encode(std::span<const float> values,
+                             int mantissa_bits);
+
+    /// Decodes back to float32 (the values the APU datapath computes on).
+    std::vector<float> decode() const;
+
+    /// Decodes a single group into a caller-provided 64-slot buffer.
+    void decode_group(std::size_t g, std::span<float> out) const;
+
+    int mantissa_bits() const { return mantissa_bits_; }
+    std::size_t size() const { return size_; }
+    std::size_t group_count() const { return groups_.size(); }
+    const AndaGroup &group(std::size_t g) const { return groups_[g]; }
+
+    /// Integer mantissa of element i (reassembled from bit-planes).
+    std::uint32_t mantissa_of(std::size_t i) const;
+
+    /// Sign of element i (1 = negative).
+    int sign_of(std::size_t i) const;
+
+    /// Total storage bits in the bit-plane layout:
+    /// groups * (64 * (1 + M) + 8).
+    std::size_t storage_bits() const;
+
+    /// Storage bits per element for a given mantissa length (includes
+    /// amortized sign plane and exponent byte).
+    static double bits_per_element(int mantissa_bits);
+
+  private:
+    int mantissa_bits_ = 0;
+    std::size_t size_ = 0;
+    std::vector<AndaGroup> groups_;
+};
+
+}  // namespace anda

@@ -1,0 +1,131 @@
+#include "bfp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace anda {
+
+namespace {
+
+/// Effective biased exponent of an FP16 value: subnormals live at the
+/// minimum normal exponent (1) with hidden bit 0.
+inline int
+effective_exponent(Fp16 h)
+{
+    const int e = h.biased_exponent();
+    return e == 0 ? 1 : e;
+}
+
+}  // namespace
+
+BfpGroup
+encode_bfp_group(std::span<const float> values, const BfpParams &params)
+{
+    assert(params.mantissa_bits >= 1 && params.mantissa_bits < 32);
+    BfpGroup group;
+    group.elems.resize(values.size());
+
+    // Pass 1: find the shared (maximum effective) exponent.
+    int max_exp = 1;
+    std::vector<Fp16> halves(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        halves[i] = Fp16(values[i]);
+        if (!halves[i].is_zero()) {
+            max_exp = std::max(max_exp, effective_exponent(halves[i]));
+        }
+    }
+    group.shared_exponent = max_exp;
+
+    // Pass 2: align each significand to the shared exponent and truncate
+    // to the mantissa length. total_shift < 0 means headroom bits (the
+    // extended-mantissa case); shifts are saturated so that large
+    // exponent distances cleanly flush to zero.
+    const int m = params.mantissa_bits;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const Fp16 h = halves[i];
+        BfpElement &e = group.elems[i];
+        e.sign = static_cast<std::uint8_t>(h.sign());
+        if (h.is_zero()) {
+            e.mantissa = 0;
+            e.shift = 0;
+            continue;
+        }
+        const int dist = max_exp - effective_exponent(h);
+        const int total_shift = dist + (Fp16::kMantissaBits + 1 - m);
+        e.shift = static_cast<std::uint8_t>(std::min(dist, 31));
+        const std::uint32_t sig =
+            static_cast<std::uint32_t>(h.significand());
+        if (total_shift >= 32) {
+            e.mantissa = 0;
+        } else if (total_shift >= 0) {
+            e.mantissa = sig >> total_shift;
+        } else {
+            e.mantissa = sig << (-total_shift);
+        }
+        assert(m >= 32 ||
+               e.mantissa < (static_cast<std::uint32_t>(1) << m));
+    }
+    return group;
+}
+
+float
+bfp_group_scale(int shared_exponent, int mantissa_bits)
+{
+    // value = mantissa * 2^(E* - bias - kMantissaBits + (11 - m))
+    //       = mantissa * 2^(E* - 14 - m)
+    return std::ldexp(1.0f, shared_exponent - 14 - mantissa_bits);
+}
+
+std::vector<float>
+decode_bfp_group(const BfpGroup &group, const BfpParams &params)
+{
+    const float scale =
+        bfp_group_scale(group.shared_exponent, params.mantissa_bits);
+    std::vector<float> out(group.elems.size());
+    for (std::size_t i = 0; i < group.elems.size(); ++i) {
+        const BfpElement &e = group.elems[i];
+        const float mag = static_cast<float>(e.mantissa) * scale;
+        out[i] = e.sign ? -mag : mag;
+    }
+    return out;
+}
+
+void
+bfp_roundtrip(std::span<const float> input, std::span<float> output,
+              const BfpParams &params)
+{
+    assert(input.size() == output.size());
+    assert(params.group_size >= 1);
+    const std::size_t gs = static_cast<std::size_t>(params.group_size);
+    for (std::size_t base = 0; base < input.size(); base += gs) {
+        const std::size_t len = std::min(gs, input.size() - base);
+        const BfpGroup group =
+            encode_bfp_group(input.subspan(base, len), params);
+        const float scale =
+            bfp_group_scale(group.shared_exponent, params.mantissa_bits);
+        for (std::size_t i = 0; i < len; ++i) {
+            const BfpElement &e = group.elems[i];
+            const float mag = static_cast<float>(e.mantissa) * scale;
+            output[base + i] = e.sign ? -mag : mag;
+        }
+    }
+}
+
+std::vector<float>
+bfp_roundtrip(std::span<const float> input, const BfpParams &params)
+{
+    std::vector<float> out(input.size());
+    bfp_roundtrip(input, std::span<float>(out), params);
+    return out;
+}
+
+double
+bfp_bits_per_element(const BfpParams &params)
+{
+    // sign + mantissa + amortized 8-bit exponent word per group.
+    return 1.0 + params.mantissa_bits +
+           8.0 / static_cast<double>(params.group_size);
+}
+
+}  // namespace anda

@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file
+/// Behavioral + timing model of the on-the-fly Bit-Plane Compressor (BPC).
+///
+/// The BPC (paper Fig. 12) converts FP16 outputs into the Anda format at
+/// runtime. It has 16 lanes; each lane takes 64 FP16 values in parallel
+/// and emits one 64-bit mantissa bit-plane per cycle through a
+/// parallel-to-serial aligner: every element whose exponent distance to
+/// the lane maximum is still positive emits 0 and decrements its
+/// distance; elements at distance zero shift out their significand
+/// MSB-first. The emission loop here is written exactly as the hardware
+/// behaves (per-cycle state updates), and a unit test pins it bit-exact
+/// against AndaTensor::encode.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "format/anda_tensor.h"
+
+namespace anda {
+
+/// Result of compressing one 64-value lane group.
+struct BpcLaneOutput {
+    std::uint64_t sign_plane = 0;
+    std::vector<std::uint64_t> mant_planes;  ///< One per emitted cycle.
+    std::uint8_t shared_exponent = 0;
+};
+
+/// Cycle-by-cycle behavioral model of one BPC lane.
+///
+/// @param values up to 64 input values (rounded through FP16 inside).
+/// @param mantissa_bits configured output mantissa length (cycles run).
+BpcLaneOutput bpc_compress_lane(std::span<const float> values,
+                                int mantissa_bits);
+
+/// Compresses a full tensor through the 16-lane BPC and assembles an
+/// AndaTensor (bit-identical to AndaTensor::encode by construction;
+/// verified by tests).
+AndaTensor bpc_compress(std::span<const float> values, int mantissa_bits);
+
+/// Timing model of the BPC front-end.
+struct BpcTiming {
+    /// Fixed pipeline depth: field extract, max-exponent catch, package.
+    static constexpr int kPipelineDepth = 3;
+    /// Number of parallel lanes (64 values each).
+    static constexpr int kLanes = 16;
+
+    /// Cycles to compress n values at the given mantissa length.
+    /// Lanes work in parallel; each batch of kLanes*64 values costs
+    /// mantissa_bits cycles of serial emission, overlapped across
+    /// batches, plus the pipeline fill.
+    static std::uint64_t cycles(std::uint64_t n_values, int mantissa_bits);
+};
+
+}  // namespace anda

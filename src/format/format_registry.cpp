@@ -1,0 +1,98 @@
+#include "format_registry.h"
+
+namespace anda {
+
+const std::vector<FormatDescriptor> &
+format_table()
+{
+    static const std::vector<FormatDescriptor> table = {
+        {"VS-Quant", MantissaFlexibility::kUniLength, {4},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"BOOST", MantissaFlexibility::kUniLength, {5},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"X. Lian et al.", MantissaFlexibility::kUniLength, {8},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"FIGNA", MantissaFlexibility::kUniLength, {14},
+         ComputeStyle::kBitParallel, ComputeDatatype::kFp16,
+         StorageScheme::kElementBased},
+        {"H. Fan et al.", MantissaFlexibility::kUniLength, {15},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"Flexpoint", MantissaFlexibility::kUniLength, {16},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"FAST", MantissaFlexibility::kMultiLength, {2, 4},
+         ComputeStyle::kChunkSerial, ComputeDatatype::kBfp,
+         StorageScheme::kChunkBased},
+        {"DaCapo", MantissaFlexibility::kMultiLength, {2, 4, 8},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"FlexBlock", MantissaFlexibility::kMultiLength, {4, 8, 16},
+         ComputeStyle::kBitParallel, ComputeDatatype::kBfp,
+         StorageScheme::kElementBased},
+        {"Anda (Ours)", MantissaFlexibility::kVariable,
+         {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+         ComputeStyle::kBitSerial, ComputeDatatype::kBfp,
+         StorageScheme::kBitPlaneBased},
+    };
+    return table;
+}
+
+std::string
+to_string(MantissaFlexibility f)
+{
+    switch (f) {
+    case MantissaFlexibility::kUniLength:
+        return "Uni-Length";
+    case MantissaFlexibility::kMultiLength:
+        return "Multi-Length";
+    case MantissaFlexibility::kVariable:
+        return "Variable-Length";
+    }
+    return "?";
+}
+
+std::string
+to_string(ComputeStyle s)
+{
+    switch (s) {
+    case ComputeStyle::kBitParallel:
+        return "Bit-parallel";
+    case ComputeStyle::kChunkSerial:
+        return "Chunk-serial";
+    case ComputeStyle::kBitSerial:
+        return "Bit-serial";
+    }
+    return "?";
+}
+
+std::string
+to_string(StorageScheme s)
+{
+    switch (s) {
+    case StorageScheme::kElementBased:
+        return "Element-based";
+    case StorageScheme::kChunkBased:
+        return "Chunk-based";
+    case StorageScheme::kBitPlaneBased:
+        return "Bit-plane-based";
+    }
+    return "?";
+}
+
+std::string
+to_string(ComputeDatatype d)
+{
+    switch (d) {
+    case ComputeDatatype::kBfp:
+        return "BFP";
+    case ComputeDatatype::kFp16:
+        return "FP16";
+    }
+    return "?";
+}
+
+}  // namespace anda

@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file
+/// Registry of the BFP-family formats compared in the paper's Table I,
+/// plus per-format storage/compute descriptors used by benches and the
+/// hardware model.
+
+#include <string>
+#include <vector>
+
+namespace anda {
+
+/// Mantissa-length flexibility classes of Table I.
+enum class MantissaFlexibility {
+    kUniLength,    ///< One fixed mantissa length.
+    kMultiLength,  ///< 2-3 predefined lengths.
+    kVariable,     ///< Continuous 1..16 range (Anda).
+};
+
+/// Computation style of the arithmetic units consuming the format.
+enum class ComputeStyle {
+    kBitParallel,
+    kChunkSerial,
+    kBitSerial,
+};
+
+/// Memory organization of stored elements.
+enum class StorageScheme {
+    kElementBased,
+    kChunkBased,
+    kBitPlaneBased,
+};
+
+/// Datatype carried through the compute pipeline.
+enum class ComputeDatatype {
+    kBfp,
+    kFp16,
+};
+
+/// One row of Table I.
+struct FormatDescriptor {
+    std::string name;
+    MantissaFlexibility flexibility;
+    /// Supported mantissa lengths during computation.
+    std::vector<int> mantissa_lengths;
+    ComputeStyle compute_style;
+    ComputeDatatype compute_datatype;
+    StorageScheme storage;
+};
+
+/// All formats of Table I, Anda last.
+const std::vector<FormatDescriptor> &format_table();
+
+/// Human-readable labels.
+std::string to_string(MantissaFlexibility f);
+std::string to_string(ComputeStyle s);
+std::string to_string(StorageScheme s);
+std::string to_string(ComputeDatatype d);
+
+}  // namespace anda

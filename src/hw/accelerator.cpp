@@ -1,0 +1,67 @@
+#include "accelerator.h"
+
+#include <stdexcept>
+
+#include "format/anda_tensor.h"
+
+namespace anda {
+
+double
+AcceleratorConfig::act_bits_per_element(int mantissa_bits) const
+{
+    switch (act_storage) {
+    case ActStorageFormat::kFp16:
+        return 16.0;
+    case ActStorageFormat::kAnda:
+        return AndaTensor::bits_per_element(mantissa_bits);
+    }
+    throw std::invalid_argument("unknown storage format");
+}
+
+int
+AcceleratorConfig::cycles_per_group(int mantissa_bits) const
+{
+    if (pe == PeType::kAnda) {
+        return anda_cycles_per_group(mantissa_bits);
+    }
+    return baseline_cycles_per_group(pe);
+}
+
+const std::vector<AcceleratorConfig> &
+system_configs()
+{
+    static const std::vector<AcceleratorConfig> configs = [] {
+        std::vector<AcceleratorConfig> v;
+        auto base = [](const std::string &name, PeType pe) {
+            AcceleratorConfig c;
+            c.name = name;
+            c.pe = pe;
+            return c;
+        };
+        v.push_back(base("fp-fp", PeType::kFpFp));
+        v.push_back(base("fp-int", PeType::kFpInt));
+        v.push_back(base("ifpu", PeType::kIfpu));
+        v.push_back(base("figna", PeType::kFigna));
+        v.push_back(base("figna-m11", PeType::kFignaM11));
+        v.push_back(base("figna-m8", PeType::kFignaM8));
+        AcceleratorConfig anda = base("anda", PeType::kAnda);
+        anda.act_storage = ActStorageFormat::kAnda;
+        anda.has_bpc = true;
+        v.push_back(anda);
+        return v;
+    }();
+    return configs;
+}
+
+const AcceleratorConfig &
+find_system(const std::string &name)
+{
+    for (const auto &c : system_configs()) {
+        if (c.name == name) {
+            return c;
+        }
+    }
+    throw std::invalid_argument("unknown system: " + name);
+}
+
+}  // namespace anda

@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file
+/// System-level accelerator configurations (paper Sec. V-A hardware
+/// baselines). All systems share the clock, the on-chip buffer sizes,
+/// and an equal bit-level compute budget: a 16-unit MXU where each
+/// unit's peak is one 64-element group per 16 "bit-plane slots". Bit-
+/// parallel FIGNA-Mx datapaths fit 16/x groups in that budget; the
+/// Anda MXU (256 APUs) finishes a group in M+1 plane cycles.
+
+#include <string>
+#include <vector>
+
+#include "hw/pe_models.h"
+
+namespace anda {
+
+/// How activations are stored in buffers and DRAM.
+enum class ActStorageFormat {
+    kFp16,  ///< 16 bits per element (all baselines).
+    kAnda,  ///< Bit-plane layout: 1 + M bits + amortized exponent.
+};
+
+/// One accelerator configuration.
+struct AcceleratorConfig {
+    std::string name;
+    PeType pe = PeType::kFpFp;
+    ActStorageFormat act_storage = ActStorageFormat::kFp16;
+    /// Number of 64-MAC/cycle-equivalent MXU units (16 -> 1024 MACs/cy
+    /// peak, the paper's 16x16 APU array for Anda).
+    int mxu_units = 16;
+    /// Activation buffer (mantissa + exponent partitions) [bytes].
+    double act_buffer_bytes = (1.0 + 0.125) * 1024 * 1024;
+    /// Weight buffer [bytes].
+    double weight_buffer_bytes = 1.0 * 1024 * 1024;
+    /// Fraction of the activation buffer holding the resident input
+    /// token-slice; the rest serves double buffering, output staging,
+    /// and cross-layer ping-pong. Compressed activations fit more
+    /// tokens in the same fraction, which is where Anda's weight
+    /// re-streaming advantage comes from.
+    double resident_fraction = 0.25;
+    /// Present only in the Anda system.
+    bool has_bpc = false;
+
+    /// Activation storage bits per element at mantissa length m.
+    double act_bits_per_element(int mantissa_bits) const;
+
+    /// Plane-cycles one unit spends per 64-element group at activation
+    /// mantissa m (Anda: m+1; FIGNA-Mx: x; FP16-class: 16).
+    int cycles_per_group(int mantissa_bits) const;
+};
+
+/// The seven systems of Fig. 16, in the paper's order:
+/// FP-FP, FP-INT, iFPU, FIGNA, FIGNA-M11, FIGNA-M8, Anda.
+const std::vector<AcceleratorConfig> &system_configs();
+
+/// Looks up a system by name.
+const AcceleratorConfig &find_system(const std::string &name);
+
+}  // namespace anda

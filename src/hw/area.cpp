@@ -1,0 +1,59 @@
+#include "area.h"
+
+#include "hw/perf_model.h"
+#include "hw/workload.h"
+
+namespace anda {
+
+ComponentBreakdown
+anda_breakdown(const OperatingPoint &op, const TechParams &tech)
+{
+    const AcceleratorConfig &cfg = find_system("anda");
+    ComponentBreakdown b;
+
+    // Reference workload: LLaMA-13B prefill at the operating point's
+    // mean mantissa (the paper reports Table III power for LLaMA-13B
+    // inference within 1% accuracy loss).
+    const int m = static_cast<int>(op.mean_mantissa + 0.5);
+    const auto ops = build_max_seq_workload(find_model("llama-13b"),
+                                            {m, m, m, m});
+    const SystemRun run = run_workload(cfg, tech, ops);
+    const double secs = run.seconds(tech);
+
+    // MXU: duty scales with utilization and with the data-dependent
+    // sparsity of mantissa bit-planes (roughly half the plane bits of
+    // converted activations are zero).
+    const double sparsity_duty = 0.55;
+    const PeMetrics apu = pe_metrics(PeType::kAnda, tech);
+    b.rows.push_back(
+        {"MXU", "16x16 APUs", mxu_area_mm2(cfg, tech),
+         16.0 * apu.power_mw * op.mxu_utilization * sparsity_duty});
+
+    const double bpc_area =
+        16.0 * bpc_lane_budget().nand2() * tech.nand2_um2 * 1e-6;
+    b.rows.push_back({"BPC", "16 Lanes", bpc_area,
+                      run.bpc_energy_pj * 1e-9 / secs});
+
+    const double vec_area =
+        64.0 * vector_lane_budget().nand2() * tech.nand2_um2 * 1e-6;
+    const PeMetrics vec = pe_metrics(PeType::kFpFp, tech);
+    b.rows.push_back(
+        {"Vector Unit", "64 FPUs", vec_area, vec.power_mw * 0.04});
+
+    const double mb = 1024.0 * 1024.0;
+    b.rows.push_back({"Activation Buffer", "1MB (Mant.) + 0.125MB (Exp.)",
+                      cfg.act_buffer_bytes / mb * tech.sram_mm2_per_mb,
+                      run.act_sram_energy_pj * 1e-9 / secs});
+    b.rows.push_back({"Weight Buffer", "1MB",
+                      cfg.weight_buffer_bytes / mb * tech.sram_mm2_per_mb,
+                      run.wgt_sram_energy_pj * 1e-9 / secs});
+    b.rows.push_back({"Others", "Top controller", 0.01, 0.01});
+
+    for (const auto &row : b.rows) {
+        b.total_area_mm2 += row.area_mm2;
+        b.total_power_mw += row.power_mw;
+    }
+    return b;
+}
+
+}  // namespace anda

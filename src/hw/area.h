@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file
+/// Component-level area/power breakdown of the Anda system (Table III).
+///
+/// Areas come from the gate model and the SRAM macro coefficients;
+/// power is reported for a workload operating point: the MXU toggles at
+/// the bit-serial duty of the configured mean mantissa length, buffers
+/// at their actual read/write bandwidth, the BPC at its output duty.
+
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "hw/tech.h"
+
+namespace anda {
+
+/// One Table III row.
+struct ComponentRow {
+    std::string name;
+    std::string setup;
+    double area_mm2 = 0;
+    double power_mw = 0;
+};
+
+/// The full breakdown.
+struct ComponentBreakdown {
+    std::vector<ComponentRow> rows;
+    double total_area_mm2 = 0;
+    double total_power_mw = 0;
+};
+
+/// Operating point of the breakdown's power column.
+struct OperatingPoint {
+    /// Mean activation mantissa length (sets bit-serial duty).
+    double mean_mantissa = 7.0;
+    /// Fraction of cycles the MXU computes (vs memory stalls).
+    double mxu_utilization = 0.95;
+};
+
+/// Computes the Anda system breakdown (Table III).
+ComponentBreakdown anda_breakdown(const OperatingPoint &op,
+                                  const TechParams &tech = tech16());
+
+}  // namespace anda

@@ -1,0 +1,100 @@
+#include "cycle_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anda {
+
+namespace {
+
+std::uint64_t
+ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+CycleSimResult
+simulate_gemm(const AcceleratorConfig &config, const TechParams &tech,
+              const GemmShape &shape, int act_mantissa)
+{
+    CycleSimResult res;
+    const std::uint64_t out_tiles = ceil_div(shape.n, 16);
+    const std::uint64_t tok_tiles = ceil_div(shape.tokens, 16);
+    const std::uint64_t k_groups = ceil_div(shape.k, 64);
+    const std::uint64_t cpg = static_cast<std::uint64_t>(
+        config.cycles_per_group(act_mantissa));
+
+    const double act_bits = config.act_bits_per_element(act_mantissa);
+    const double bw = tech.dram_bits_per_cycle();
+    constexpr double kWeightBits = 4.0 + 16.0 / 128.0;
+
+    // Token-slice residency, as in the closed-form model.
+    const double buf_bits =
+        config.act_buffer_bytes * 8.0 * config.resident_fraction;
+    std::uint64_t t_tok = static_cast<std::uint64_t>(
+        buf_bits / (static_cast<double>(shape.k) * act_bits));
+    t_tok = std::max<std::uint64_t>(16, (t_tok / 16) * 16);
+    t_tok = std::min<std::uint64_t>(t_tok, tok_tiles * 16);
+
+    // Two resources with double buffering: the DMA engine and the MXU.
+    // Each slice requires its activation block; each (slice, out-tile)
+    // pass requires a 16 x k weight tile. Transfers are enqueued ahead
+    // (double buffer) so compute stalls only when data is late.
+    double dma_free = 0.0;
+    double compute_free = 0.0;
+    std::uint64_t dma_busy = 0;
+    std::uint64_t compute_busy = 0;
+    std::uint64_t passes = 0;
+
+    std::uint64_t tokens_left = shape.tokens;
+    while (tokens_left > 0) {
+        const std::uint64_t slice_tokens =
+            std::min<std::uint64_t>(t_tok, tokens_left);
+        tokens_left -= slice_tokens;
+        const std::uint64_t slice_tok_tiles = ceil_div(slice_tokens, 16);
+
+        // Activation slice transfer.
+        const double act_xfer =
+            std::ceil(static_cast<double>(slice_tokens) *
+                      static_cast<double>(shape.k) * act_bits / bw);
+        const double act_ready = dma_free + act_xfer;
+        dma_free = act_ready;
+        dma_busy += static_cast<std::uint64_t>(act_xfer);
+
+        for (std::uint64_t ot = 0; ot < out_tiles; ++ot) {
+            // Weight tile for this output row (streams once per slice).
+            const double w_xfer = std::ceil(
+                16.0 * static_cast<double>(shape.k) * kWeightBits / bw);
+            const double w_ready = dma_free + w_xfer;
+            dma_free = w_ready;
+            dma_busy += static_cast<std::uint64_t>(w_xfer);
+
+            for (std::uint64_t tt = 0; tt < slice_tok_tiles; ++tt) {
+                const double start = std::max(
+                    compute_free, std::max(act_ready, w_ready));
+                const double pass_cycles =
+                    static_cast<double>(k_groups * cpg);
+                compute_free = start + pass_cycles;
+                compute_busy += k_groups * cpg;
+                ++passes;
+            }
+        }
+    }
+
+    // Output drain: the last tile's result leaves through the BPC (or
+    // the output collector) -- a small pipeline epilogue.
+    double finish = std::max(compute_free, dma_free);
+    if (config.has_bpc) {
+        finish += 3 + act_mantissa;
+    }
+
+    res.cycles = static_cast<std::uint64_t>(std::ceil(finish));
+    res.compute_busy = compute_busy;
+    res.dma_busy = dma_busy;
+    res.tile_passes = passes;
+    return res;
+}
+
+}  // namespace anda

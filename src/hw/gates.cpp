@@ -1,0 +1,112 @@
+#include "gates.h"
+
+#include <cmath>
+
+namespace anda {
+
+namespace {
+
+GateBudget
+comb_block(double nand2, double activity_factor)
+{
+    GateBudget g;
+    g.comb = nand2;
+    g.activity = nand2 * activity_factor;
+    return g;
+}
+
+double
+log2i(int v)
+{
+    return std::log2(static_cast<double>(v < 2 ? 2 : v));
+}
+
+}  // namespace
+
+GateBudget
+int_multiplier(int a_bits, int b_bits)
+{
+    // a*b AND partial products (~1 NAND2 each) plus (a-1)*b full adders
+    // (~5 NAND2 each) in a carry-save array.
+    const double pp = static_cast<double>(a_bits) * b_bits;
+    const double fas = static_cast<double>(a_bits - 1) * b_bits * 5.0;
+    return comb_block(pp + fas, Activity::kArithmetic);
+}
+
+GateBudget
+adder(int width)
+{
+    return comb_block(width * 5.0, Activity::kArithmetic);
+}
+
+GateBudget
+adder_tree(int inputs, int input_width)
+{
+    GateBudget g;
+    int level_inputs = inputs;
+    int width = input_width;
+    while (level_inputs > 1) {
+        const int pairs = level_inputs / 2;
+        g += static_cast<double>(pairs) * adder(width);
+        level_inputs = pairs + (level_inputs % 2);
+        ++width;
+    }
+    return g;
+}
+
+GateBudget
+barrel_shifter(int width, int positions)
+{
+    // log2(positions) stages of width-wide 2:1 muxes (~3 NAND2 each).
+    const double stages = log2i(positions);
+    return comb_block(width * stages * 3.0, Activity::kShifter);
+}
+
+GateBudget
+registers(int bits)
+{
+    GateBudget g;
+    g.seq_bits = bits;
+    g.activity = bits * 8.0 * Activity::kRegister;
+    return g;
+}
+
+GateBudget
+mux2(int width)
+{
+    return comb_block(width * 3.0, Activity::kControl);
+}
+
+GateBudget
+comparator(int width)
+{
+    return comb_block(width * 4.0, Activity::kArithmetic);
+}
+
+GateBudget
+max_tree(int inputs, int width)
+{
+    GateBudget g;
+    // inputs-1 compare+select nodes.
+    for (int n = inputs - 1; n > 0; --n) {
+        g += comparator(width);
+        g += mux2(width);
+    }
+    return g;
+}
+
+GateBudget
+lzc(int width)
+{
+    return comb_block(width * 6.0, Activity::kArithmetic);
+}
+
+GateBudget
+control(int states)
+{
+    GateBudget g = comb_block(states * 12.0, Activity::kControl);
+    g += registers(static_cast<int>(std::ceil(log2i(states))) + 8);
+    return g;
+}
+
+}  // namespace anda

@@ -1,0 +1,87 @@
+#pragma once
+
+/// @file
+/// NAND2-equivalent gate-count estimators for datapath building blocks.
+///
+/// Each estimator returns a GateBudget whose `comb` field counts
+/// combinational NAND2 equivalents and `seq` counts register bits
+/// (8 NAND2-eq each). `activity` carries a class-typical switching
+/// factor so power can be derived as
+///   P = sum(area_nand2 * activity) * E_toggle * f + leakage.
+/// The absolute coefficients are rough but uniform across PE types, so
+/// the *ratios* (what Fig. 15 reports) are meaningful.
+
+namespace anda {
+
+/// Area/activity budget of a hardware block.
+struct GateBudget {
+    double comb = 0.0;      ///< Combinational NAND2 equivalents.
+    double seq_bits = 0.0;  ///< Register bits (8 NAND2-eq per bit).
+    /// Weighted switching activity accumulator (NAND2 * activity).
+    double activity = 0.0;
+
+    /// Total NAND2 equivalents.
+    double nand2() const { return comb + 8.0 * seq_bits; }
+
+    GateBudget &operator+=(const GateBudget &other)
+    {
+        comb += other.comb;
+        seq_bits += other.seq_bits;
+        activity += other.activity;
+        return *this;
+    }
+    friend GateBudget operator+(GateBudget a, const GateBudget &b)
+    {
+        a += b;
+        return a;
+    }
+    friend GateBudget operator*(double k, GateBudget b)
+    {
+        b.comb *= k;
+        b.seq_bits *= k;
+        b.activity *= k;
+        return b;
+    }
+};
+
+/// Typical switching activity per component class.
+struct Activity {
+    static constexpr double kArithmetic = 0.40;
+    static constexpr double kShifter = 0.30;
+    static constexpr double kRegister = 0.15;
+    static constexpr double kControl = 0.20;
+};
+
+/// a x b array multiplier (partial products + carry-save reduction).
+GateBudget int_multiplier(int a_bits, int b_bits);
+
+/// Ripple/carry-lookahead adder of the given width.
+GateBudget adder(int width);
+
+/// Balanced adder tree reducing `inputs` operands of `input_width`
+/// bits; widths grow by one per level.
+GateBudget adder_tree(int inputs, int input_width);
+
+/// Barrel shifter over `width` bits with `positions` shift range.
+GateBudget barrel_shifter(int width, int positions);
+
+/// Register bits.
+GateBudget registers(int bits);
+
+/// 2:1 multiplexer over `width` bits.
+GateBudget mux2(int width);
+
+/// Magnitude comparator of the given width.
+GateBudget comparator(int width);
+
+/// Maximum-finder tree over `inputs` values of `width` bits
+/// (comparator + mux per node).
+GateBudget max_tree(int inputs, int width);
+
+/// Leading-zero counter / normalization logic over `width` bits.
+GateBudget lzc(int width);
+
+/// Control FSM of roughly `states` states.
+GateBudget control(int states);
+
+}  // namespace anda

@@ -1,0 +1,167 @@
+#include "perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "format/compressor.h"
+
+namespace anda {
+
+namespace {
+
+std::uint64_t
+ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/// Weight storage bits per weight: INT4 plus an FP16 scale per group
+/// of 128.
+constexpr double kWeightBitsPerElem = 4.0 + 16.0 / 128.0;
+
+/// Throughput-normalization unit count: all systems have the same
+/// bit-level compute budget, so an x-bit bit-parallel datapath fits
+/// 16/x times more group engines.
+double
+unit_scale(const AcceleratorConfig &config)
+{
+    return 16.0 / baseline_cycles_per_group(config.pe);
+}
+
+}  // namespace
+
+double
+mxu_power_mw(const AcceleratorConfig &config, const TechParams &tech)
+{
+    return config.mxu_units * unit_scale(config) *
+           pe_metrics(config.pe, tech).power_mw;
+}
+
+double
+mxu_area_mm2(const AcceleratorConfig &config, const TechParams &tech)
+{
+    return config.mxu_units * unit_scale(config) *
+           pe_metrics(config.pe, tech).area_mm2;
+}
+
+double
+system_area_mm2(const AcceleratorConfig &config, const TechParams &tech)
+{
+    double area = mxu_area_mm2(config, tech);
+    const double mb = 1024.0 * 1024.0;
+    area += (config.act_buffer_bytes / mb) * tech.sram_mm2_per_mb;
+    area += (config.weight_buffer_bytes / mb) * tech.sram_mm2_per_mb;
+    if (config.has_bpc) {
+        area += 16.0 * bpc_lane_budget().nand2() * tech.nand2_um2 * 1e-6;
+    }
+    // Vector unit (64 FP lanes) + top controller.
+    area += 64.0 * vector_lane_budget().nand2() * tech.nand2_um2 * 1e-6;
+    area += 0.01;
+    return area;
+}
+
+GemmCost
+analyze_gemm(const AcceleratorConfig &config, const TechParams &tech,
+             const GemmShape &shape, int act_mantissa)
+{
+    GemmCost cost;
+    const std::uint64_t out_tiles = ceil_div(shape.n, 16);
+    const std::uint64_t tok_tiles = ceil_div(shape.tokens, 16);
+    const std::uint64_t k_groups = ceil_div(shape.k, 64);
+    const int cpg = config.cycles_per_group(act_mantissa);
+
+    cost.compute_cycles = out_tiles * tok_tiles * k_groups *
+                          static_cast<std::uint64_t>(cpg);
+
+    // --- Memory traffic ---
+    const double act_bits = config.act_bits_per_element(act_mantissa);
+
+    // Token-slice residency: the resident fraction of the activation
+    // buffer holds the input K-slice; rounded down to a multiple of 16
+    // tokens.
+    const double buf_bits =
+        config.act_buffer_bytes * 8.0 * config.resident_fraction;
+    std::uint64_t t_tok = static_cast<std::uint64_t>(
+        buf_bits / (static_cast<double>(shape.k) * act_bits));
+    t_tok = std::max<std::uint64_t>(16, (t_tok / 16) * 16);
+    t_tok = std::min<std::uint64_t>(t_tok, tok_tiles * 16);
+    const std::uint64_t weight_passes =
+        ceil_div(shape.tokens, t_tok);
+
+    const double kd = static_cast<double>(shape.k);
+    const double nd = static_cast<double>(shape.n);
+    const double td = static_cast<double>(shape.tokens);
+
+    cost.weight_dram_bits =
+        kd * nd * kWeightBitsPerElem * static_cast<double>(weight_passes);
+    // Input activations read once; outputs written once (in the
+    // system's own storage format).
+    cost.act_dram_bits = td * kd * act_bits + td * nd * act_bits;
+
+    cost.dram_cycles = static_cast<std::uint64_t>(
+        (cost.weight_dram_bits + cost.act_dram_bits) /
+        tech.dram_bits_per_cycle());
+
+    // SRAM: activations re-read once per output tile row (the 16
+    // columns of a tile share each broadcast bit-plane); outputs are
+    // written once. Weights are read once per streaming pass -- inside
+    // a token slice they stay in the PEs' double-buffered registers.
+    // DRAM refills count as buffer writes and are folded into the
+    // per-buffer energies below.
+    cost.act_sram_bits =
+        td * kd * act_bits * static_cast<double>(out_tiles) +
+        td * nd * act_bits;
+    cost.weight_sram_bits = cost.weight_dram_bits;
+
+    // --- BPC (output compression, overlapped) ---
+    if (config.has_bpc) {
+        cost.bpc_cycles = BpcTiming::cycles(
+            shape.tokens * shape.n, act_mantissa);
+    }
+
+    cost.total_cycles = std::max(
+        {cost.compute_cycles, cost.dram_cycles, cost.bpc_cycles});
+
+    // --- Energy ---
+    const double cycle_s = 1.0 / tech.clock_hz;
+    cost.compute_energy_pj = static_cast<double>(cost.compute_cycles) *
+                             cycle_s * mxu_power_mw(config, tech) * 1e9;
+    if (config.has_bpc) {
+        const double bpc_mw = 16.0 * bpc_lane_budget().activity *
+                                  tech.nand2_toggle_fj * 1e-15 *
+                                  tech.clock_hz * 1e3 +
+                              16.0 * bpc_lane_budget().nand2() *
+                                  tech.nand2_leak_nw * 1e-6;
+        cost.bpc_energy_pj =
+            static_cast<double>(cost.bpc_cycles) * cycle_s * bpc_mw * 1e9;
+    }
+    cost.act_sram_energy_pj =
+        (cost.act_sram_bits + cost.act_dram_bits) * tech.sram_pj_per_bit;
+    cost.wgt_sram_energy_pj =
+        (cost.weight_sram_bits + cost.weight_dram_bits) *
+        tech.sram_pj_per_bit;
+    cost.dram_energy_pj =
+        (cost.weight_dram_bits + cost.act_dram_bits) *
+        tech.dram_pj_per_bit;
+    return cost;
+}
+
+SystemRun
+run_workload(const AcceleratorConfig &config, const TechParams &tech,
+             const std::vector<GemmOp> &ops)
+{
+    SystemRun run;
+    for (const auto &op : ops) {
+        const GemmCost c =
+            analyze_gemm(config, tech, op.shape, op.act_mantissa);
+        run.cycles += c.total_cycles;
+        run.compute_energy_pj += c.compute_energy_pj;
+        run.bpc_energy_pj += c.bpc_energy_pj;
+        run.act_sram_energy_pj += c.act_sram_energy_pj;
+        run.wgt_sram_energy_pj += c.wgt_sram_energy_pj;
+        run.dram_energy_pj += c.dram_energy_pj;
+    }
+    return run;
+}
+
+}  // namespace anda

@@ -1,0 +1,118 @@
+#pragma once
+
+/// @file
+/// Closed-form performance/energy model of one FP-INT GeMM on a
+/// configured accelerator, plus workload aggregation.
+///
+/// Dataflow (paper Sec. IV-D): output-stationary 16x16 tiles over
+/// 64-element reduction groups. A token-slice of the activation matrix
+/// stays resident in (half of) the activation buffer while the weights
+/// stream from DRAM once per slice, so compressed activations shrink
+/// *both* activation traffic and weight re-streaming. A tile pass
+/// costs `cycles_per_group` plane-cycles (Anda: M+1). The tile-level
+/// cycle simulator (cycle_sim.h) validates these formulas.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "hw/tech.h"
+
+namespace anda {
+
+/// Shape of one activation x weight GeMM: A [tokens x k] times
+/// W^T [k x n] -> [tokens x n].
+struct GemmShape {
+    std::uint64_t tokens = 0;
+    std::uint64_t k = 0;
+    std::uint64_t n = 0;
+};
+
+/// One workload entry: a GeMM plus the activation mantissa length its
+/// module was assigned (16 for FP16-activation systems).
+struct GemmOp {
+    GemmShape shape;
+    int act_mantissa = 16;
+    std::string label;
+};
+
+/// Cost of one GeMM.
+struct GemmCost {
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t dram_cycles = 0;
+    std::uint64_t bpc_cycles = 0;
+    std::uint64_t total_cycles = 0;
+
+    double weight_dram_bits = 0;
+    double act_dram_bits = 0;
+    double weight_sram_bits = 0;
+    double act_sram_bits = 0;
+
+    double compute_energy_pj = 0;   ///< MXU only.
+    double bpc_energy_pj = 0;       ///< Anda's output compressor.
+    double act_sram_energy_pj = 0;  ///< Activation buffer reads+fills.
+    double wgt_sram_energy_pj = 0;  ///< Weight buffer reads+fills.
+    double dram_energy_pj = 0;
+
+    double sram_energy_pj() const
+    {
+        return act_sram_energy_pj + wgt_sram_energy_pj;
+    }
+    double total_energy_pj() const
+    {
+        return compute_energy_pj + bpc_energy_pj + sram_energy_pj() +
+               dram_energy_pj;
+    }
+    double dram_bits() const { return weight_dram_bits + act_dram_bits; }
+};
+
+/// Aggregate over a workload.
+struct SystemRun {
+    std::uint64_t cycles = 0;
+    double compute_energy_pj = 0;
+    double bpc_energy_pj = 0;
+    double act_sram_energy_pj = 0;
+    double wgt_sram_energy_pj = 0;
+    double dram_energy_pj = 0;
+
+    double sram_energy_pj() const
+    {
+        return act_sram_energy_pj + wgt_sram_energy_pj;
+    }
+    double total_energy_pj() const
+    {
+        return compute_energy_pj + bpc_energy_pj + sram_energy_pj() +
+               dram_energy_pj;
+    }
+    double seconds(const TechParams &tech) const
+    {
+        return static_cast<double>(cycles) / tech.clock_hz;
+    }
+};
+
+/// MXU power of a configuration [mW] (throughput-normalized unit count
+/// times the PE model; FIGNA-Mx systems carry 16/x units).
+double mxu_power_mw(const AcceleratorConfig &config,
+                    const TechParams &tech = tech16());
+
+/// MXU area of a configuration [mm^2].
+double mxu_area_mm2(const AcceleratorConfig &config,
+                    const TechParams &tech = tech16());
+
+/// Total die area of a configuration [mm^2] (MXU + buffers + BPC +
+/// vector unit + control).
+double system_area_mm2(const AcceleratorConfig &config,
+                       const TechParams &tech = tech16());
+
+/// Analyzes one GeMM.
+GemmCost analyze_gemm(const AcceleratorConfig &config,
+                      const TechParams &tech, const GemmShape &shape,
+                      int act_mantissa);
+
+/// Runs a whole workload (sums costs; GeMMs execute back-to-back).
+SystemRun run_workload(const AcceleratorConfig &config,
+                       const TechParams &tech,
+                       const std::vector<GemmOp> &ops);
+
+}  // namespace anda

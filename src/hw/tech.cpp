@@ -1,0 +1,12 @@
+#include "tech.h"
+
+namespace anda {
+
+const TechParams &
+tech16()
+{
+    static const TechParams params;
+    return params;
+}
+
+}  // namespace anda

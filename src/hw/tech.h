@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file
+/// Technology constants of the evaluation platform (paper Sec. V-A):
+/// 16 nm, 285 MHz, 0.8 V nominal, HBM2 at 3.9 pJ/bit and 256 GB/s.
+/// Gate-level area/energy coefficients stand in for the paper's Cadence
+/// Genus synthesis (DESIGN.md substitution #3); SRAM macros are
+/// calibrated so a 1 MB buffer matches Table III's 0.80 mm^2.
+
+namespace anda {
+
+/// Process/system constants used across the hardware model.
+struct TechParams {
+    /// Operating clock frequency [Hz].
+    double clock_hz = 285e6;
+    /// Nominal voltage [V] (informational; folded into energy consts).
+    double voltage = 0.8;
+
+    /// HBM2 access energy [pJ/bit] (paper cites TPUv4i numbers).
+    double dram_pj_per_bit = 3.9;
+    /// HBM2 bandwidth [bytes/s].
+    double dram_bytes_per_s = 256e9;
+
+    /// On-chip SRAM access energy [pJ/bit] (16 nm, ~1 MB macro).
+    double sram_pj_per_bit = 0.16;
+    /// SRAM area [mm^2 per MB]; 0.80 reproduces Table III's 1 MB
+    /// weight buffer.
+    double sram_mm2_per_mb = 0.80;
+
+    /// Combinational gate density [um^2 per NAND2-equivalent] including
+    /// wiring overhead at ~70% utilization.
+    double nand2_um2 = 0.55;
+    /// Dynamic energy per NAND2-equivalent toggle [fJ] at 0.8 V.
+    double nand2_toggle_fj = 0.80;
+    /// Leakage power per NAND2-equivalent [nW].
+    double nand2_leak_nw = 1.2;
+
+    /// DRAM bits transferable per clock cycle.
+    double dram_bits_per_cycle() const
+    {
+        return dram_bytes_per_s * 8.0 / clock_hz;
+    }
+};
+
+/// The default 16 nm configuration used by all experiments.
+const TechParams &tech16();
+
+}  // namespace anda

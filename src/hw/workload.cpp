@@ -1,0 +1,34 @@
+#include "workload.h"
+
+namespace anda {
+
+std::vector<GemmOp>
+build_prefill_workload(const ModelConfig &model, std::uint64_t seq,
+                       const PrecisionTuple &tuple)
+{
+    const ModelDims &d = model.real;
+    const std::uint64_t dm = static_cast<std::uint64_t>(d.d_model);
+    const std::uint64_t ffn = static_cast<std::uint64_t>(d.d_ffn);
+    const bool llama = model.family != Family::kOpt;
+
+    std::vector<GemmOp> ops;
+    ops.reserve(static_cast<std::size_t>(d.n_layers) * 4);
+    for (int layer = 0; layer < d.n_layers; ++layer) {
+        ops.push_back({{seq, dm, 3 * dm}, tuple[0], "qkv"});
+        ops.push_back({{seq, dm, dm}, tuple[1], "o"});
+        // LLaMA's Au feeds both gate and up projections.
+        ops.push_back({{seq, dm, (llama ? 2 : 1) * ffn}, tuple[2], "u"});
+        ops.push_back({{seq, ffn, dm}, tuple[3], "d"});
+    }
+    return ops;
+}
+
+std::vector<GemmOp>
+build_max_seq_workload(const ModelConfig &model,
+                       const PrecisionTuple &tuple)
+{
+    return build_prefill_workload(
+        model, static_cast<std::uint64_t>(model.real.max_seq), tuple);
+}
+
+}  // namespace anda

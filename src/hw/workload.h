@@ -1,0 +1,28 @@
+#pragma once
+
+/// @file
+/// Builds the FP-INT GeMM workload of one model's prefill pass (batch
+/// 1, paper Sec. V-A system evaluation) from the real model dimensions
+/// and a precision tuple.
+
+#include <vector>
+
+#include "hw/perf_model.h"
+#include "llm/config.h"
+#include "search/bops.h"
+
+namespace anda {
+
+/// GeMM list of a prefill over `seq` tokens. The tuple assigns each
+/// module type's activation mantissa (pass {16,16,16,16} for FP16
+/// systems -- FP16-storage systems ignore the value for storage but
+/// FIGNA-Mx timing uses its own datapath width regardless).
+std::vector<GemmOp> build_prefill_workload(const ModelConfig &model,
+                                           std::uint64_t seq,
+                                           const PrecisionTuple &tuple);
+
+/// Convenience: workload at the model's maximum sequence length.
+std::vector<GemmOp> build_max_seq_workload(const ModelConfig &model,
+                                           const PrecisionTuple &tuple);
+
+}  // namespace anda

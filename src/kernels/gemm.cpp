@@ -1,0 +1,206 @@
+#include "gemm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fp16.h"
+#include "common/parallel.h"
+
+namespace anda {
+
+float
+dot_f32(const float *a, const float *b, std::size_t n)
+{
+    float acc[16] = {};
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        for (int l = 0; l < 16; ++l) {
+            acc[l] += a[i + l] * b[i + l];
+        }
+    }
+    float s = 0.0f;
+    for (int l = 0; l < 16; ++l) {
+        s += acc[l];
+    }
+    for (; i < n; ++i) {
+        s += a[i] * b[i];
+    }
+    return s;
+}
+
+Matrix
+matmul_wt(const Matrix &a, const Matrix &w, std::size_t threads)
+{
+    assert(a.cols() == w.cols());
+    Matrix c(a.rows(), w.rows());
+    const std::size_t k = a.cols();
+    parallel_for_chunked(
+        0, a.rows(),
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t t = lo; t < hi; ++t) {
+                const float *arow = a.data() + t * k;
+                float *crow = c.data() + t * w.rows();
+                for (std::size_t n = 0; n < w.rows(); ++n) {
+                    crow[n] = dot_f32(arow, w.data() + n * k, k);
+                }
+            }
+        },
+        threads);
+    return c;
+}
+
+Matrix
+gemm_ref(const Matrix &a, const Matrix &w)
+{
+    assert(a.cols() == w.cols());
+    Matrix c(a.rows(), w.rows());
+    for (std::size_t t = 0; t < a.rows(); ++t) {
+        for (std::size_t n = 0; n < w.rows(); ++n) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+                acc += static_cast<double>(a(t, kk)) * w(n, kk);
+            }
+            c(t, n) = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+void
+apply_act_format(Matrix &a, const ActFormat &fmt, std::size_t threads)
+{
+    switch (fmt.kind) {
+    case ActFormat::Kind::kFp32:
+        return;
+    case ActFormat::Kind::kFp16:
+        parallel_for_chunked(
+            0, a.rows(),
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t t = lo; t < hi; ++t) {
+                    for (float &v : a.row(t)) {
+                        v = fp16_round(v);
+                    }
+                }
+            },
+            threads);
+        return;
+    case ActFormat::Kind::kBfp:
+        parallel_for_chunked(
+            0, a.rows(),
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t t = lo; t < hi; ++t) {
+                    auto row = a.row(t);
+                    bfp_roundtrip(row, row, fmt.bfp_params);
+                }
+            },
+            threads);
+        return;
+    }
+}
+
+Matrix
+gemm_fp16_dequant(const Matrix &a, const QuantizedWeight &w)
+{
+    assert(a.cols() == w.cols());
+    Matrix a16 = a;
+    apply_act_format(a16, ActFormat::fp16());
+    // Dequantized INT4 weights are exact in FP16 (scale is FP16 and the
+    // product q*scale has at most 14 significant bits), so a float
+    // matmul of the dequantized matrix models the tensor-core path.
+    const Matrix wd = w.dequantize();
+    return matmul_wt(a16, wd);
+}
+
+Matrix
+gemm_bfp_fakequant(const Matrix &a, const QuantizedWeight &w,
+                   const BfpParams &params)
+{
+    assert(a.cols() == w.cols());
+    Matrix ab = a;
+    apply_act_format(ab, ActFormat::bfp(params.group_size,
+                                        params.mantissa_bits));
+    const Matrix wd = w.dequantize();
+    return matmul_wt(ab, wd);
+}
+
+std::int64_t
+anda_group_dot(const AndaGroup &g, int mantissa_bits,
+               std::span<const std::int8_t> w)
+{
+    assert(w.size() == static_cast<std::size_t>(kAndaGroupSize));
+    // Effective signed weights: the sign plane flips the weight feeding
+    // the adder tree, so bit-plane partial sums are plain sums.
+    std::int32_t signed_w[kAndaGroupSize];
+    for (int i = 0; i < kAndaGroupSize; ++i) {
+        const bool neg = (g.sign_plane >> i) & 1u;
+        signed_w[i] = neg ? -static_cast<std::int32_t>(w[i])
+                          : static_cast<std::int32_t>(w[i]);
+    }
+    // First-element-then-bit-plane reduction: one adder-tree pass per
+    // plane, then shift-accumulate the per-plane partial sums. Plane 0
+    // is the mantissa MSB.
+    std::int64_t acc = 0;
+    for (int p = 0; p < mantissa_bits; ++p) {
+        const std::uint64_t plane = g.mant_planes[p];
+        std::int64_t partial = 0;
+        for (int i = 0; i < kAndaGroupSize; ++i) {
+            if ((plane >> i) & 1u) {
+                partial += signed_w[i];
+            }
+        }
+        acc = (acc << 1) + partial;
+    }
+    return acc;
+}
+
+Matrix
+gemm_anda(const Matrix &a, const QuantizedWeight &w,
+          const AndaGemmOptions &opts)
+{
+    assert(a.cols() == w.cols());
+    if (w.group_size() % kAndaGroupSize != 0) {
+        throw std::invalid_argument(
+            "weight scale group size must be a multiple of the Anda "
+            "group size (64)");
+    }
+    const std::size_t k = a.cols();
+    const std::size_t n_groups = (k + kAndaGroupSize - 1) / kAndaGroupSize;
+    Matrix c(a.rows(), w.rows());
+
+    parallel_for_chunked(0, a.rows(), [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::int8_t> wbuf(kAndaGroupSize);
+        for (std::size_t t = lo; t < hi; ++t) {
+            const AndaTensor act =
+                AndaTensor::encode(a.row(t), opts.mantissa_bits);
+            for (std::size_t n = 0; n < w.rows(); ++n) {
+                const auto wrow = w.row(n);
+                float acc = 0.0f;
+                for (std::size_t g = 0; g < n_groups; ++g) {
+                    const std::size_t base = g * kAndaGroupSize;
+                    const std::size_t len =
+                        std::min<std::size_t>(kAndaGroupSize, k - base);
+                    std::fill(wbuf.begin(), wbuf.end(), std::int8_t{0});
+                    std::copy_n(wrow.data() + base, len, wbuf.begin());
+                    const std::int64_t idot = anda_group_dot(
+                        act.group(g), opts.mantissa_bits, wbuf);
+                    float gval =
+                        static_cast<float>(idot) *
+                        bfp_group_scale(act.group(g).shared_exponent,
+                                        opts.mantissa_bits);
+                    if (opts.fp16_group_rounding) {
+                        gval = fp16_round(gval);
+                    }
+                    acc += gval * w.group_scale(n, base / static_cast<
+                                                       std::size_t>(
+                                                       w.group_size()));
+                }
+                c(t, n) = opts.fp16_output ? fp16_round(acc) : acc;
+            }
+        }
+    });
+    return c;
+}
+
+}  // namespace anda

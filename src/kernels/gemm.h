@@ -1,0 +1,99 @@
+#pragma once
+
+/// @file
+/// GeMM kernels for every computation scheme compared in the paper
+/// (Fig. 8): the FP-FP GPU path, the FP-INT dequantization path, the
+/// BFP fake-quantization path used for accuracy evaluation (numerically
+/// equivalent to the integer datapath up to FP32 accumulation), and the
+/// hardware-faithful Anda bit-plane integer path.
+///
+/// Convention: activations A are [tokens x K] row-major; weights W are
+/// [N x K] (one output channel per row); outputs are [tokens x N].
+
+#include <span>
+
+#include "common/matrix.h"
+#include "format/anda_tensor.h"
+#include "format/bfp.h"
+#include "quant/weight_quant.h"
+
+namespace anda {
+
+/// Activation number format applied at a GeMM input tap.
+struct ActFormat {
+    enum class Kind {
+        kFp32,  ///< No conversion (reference only).
+        kFp16,  ///< Round through FP16 (the W4A16 baseline).
+        kBfp,   ///< Group-shared exponent + truncated mantissa.
+    };
+    Kind kind = Kind::kFp16;
+    /// BFP parameters (used when kind == kBfp). group_size counts values
+    /// along the reduction dimension of each token row.
+    BfpParams bfp_params;
+
+    static ActFormat fp32() { return {Kind::kFp32, {}}; }
+    static ActFormat fp16() { return {Kind::kFp16, {}}; }
+    static ActFormat bfp(int group_size, int mantissa_bits)
+    {
+        return {Kind::kBfp, {group_size, mantissa_bits}};
+    }
+};
+
+/// Dot product with deterministic lane-wise accumulation (vectorizes
+/// without -ffast-math).
+float dot_f32(const float *a, const float *b, std::size_t n);
+
+/// C = A * W^T with float32 inputs, parallelized over token rows.
+/// threads = 0 uses all cores; 1 runs serially (callers that already
+/// parallelize at a coarser grain pass 1).
+Matrix matmul_wt(const Matrix &a, const Matrix &w,
+                 std::size_t threads = 0);
+
+/// Reference GeMM in double precision (ground truth for kernel tests).
+Matrix gemm_ref(const Matrix &a, const Matrix &w);
+
+/// Applies an activation format in place to each token row of a matrix
+/// (BFP groups run along the row/reduction dimension). threads = 0 uses
+/// all cores; callers already parallel at sequence level pass 1.
+void apply_act_format(Matrix &a, const ActFormat &fmt,
+                      std::size_t threads = 0);
+
+/// FP-FP GPU scheme (Fig. 8a): INT4 weights dequantized to FP16, FP16
+/// activations, FP32 accumulation.
+Matrix gemm_fp16_dequant(const Matrix &a, const QuantizedWeight &w);
+
+/// Fake-quantized BFP GeMM used by accuracy experiments: activations are
+/// converted through the BFP format, then multiplied against dequantized
+/// weights in float32. Numerically equivalent to the grouped integer
+/// datapath with exact scaling.
+Matrix gemm_bfp_fakequant(const Matrix &a, const QuantizedWeight &w,
+                          const BfpParams &params);
+
+/// Options of the bit-exact Anda GeMM.
+struct AndaGemmOptions {
+    /// Mantissa length of the activation tensor (1..16).
+    int mantissa_bits = 8;
+    /// If true, round each group's dot product through FP16 before the
+    /// cross-group FP32 accumulation, exactly as the APU datapath does
+    /// (paper Sec. IV-B). Off by default to mirror the fake-quant path.
+    bool fp16_group_rounding = false;
+    /// If true, round the final accumulator to FP16 on output.
+    bool fp16_output = true;
+};
+
+/// Hardware-faithful Anda GeMM: each token row of A is encoded as an
+/// AndaTensor along K; group dot products are computed bit-plane by
+/// bit-plane (partial sums shifted and accumulated exactly as the APU's
+/// first-element-then-bit-plane reduction), scaled by the shared
+/// exponent and the weight group scale, and FP32-accumulated across
+/// groups. Requires the weight scale group size to be a multiple of 64.
+Matrix gemm_anda(const Matrix &a, const QuantizedWeight &w,
+                 const AndaGemmOptions &opts);
+
+/// Integer dot product of one Anda group against 64 INT weights via the
+/// bit-serial reduction (exposed for unit tests and the APU model).
+/// Returns sum_i sign_i * mantissa_i * w_i.
+std::int64_t anda_group_dot(const AndaGroup &g, int mantissa_bits,
+                            std::span<const std::int8_t> w);
+
+}  // namespace anda

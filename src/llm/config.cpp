@@ -1,0 +1,160 @@
+#include "config.h"
+
+#include <stdexcept>
+
+namespace anda {
+
+namespace {
+
+/// Laptop-scale dims shared by all sim models; per-model behaviour comes
+/// from the outlier profile and the seed. FFN widths are multiples of 64
+/// so every GeMM reduction dimension tiles exactly into Anda groups.
+ModelDims
+sim_dims(Family family)
+{
+    ModelDims d;
+    d.d_model = 128;
+    d.n_layers = 2;
+    d.n_heads = 4;
+    d.d_ffn = family == Family::kOpt ? 512 : 384;
+    d.vocab = 256;
+    d.max_seq = 128;
+    return d;
+}
+
+ModelConfig
+make(const std::string &name, Family family, ModelDims real,
+     OutlierProfile profile, std::uint64_t seed)
+{
+    ModelConfig cfg;
+    cfg.name = name;
+    cfg.family = family;
+    cfg.real = real;
+    cfg.sim = sim_dims(family);
+    cfg.profile = profile;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/// OPT-family profile: milder channel spread, tolerant Ad (post-ReLU
+/// activations are sparse and nonnegative).
+OutlierProfile
+opt_profile(double sigma, double resid_gain)
+{
+    OutlierProfile p;
+    p.channel_sigma = sigma;
+    p.outlier_channels = 4;
+    p.resid_outlier_gain = resid_gain;
+    p.o_outlier_gain = 6.0;
+    p.d_outlier_gain = 4.0;
+    p.attn_sharpness = 2.0;
+    p.logit_scale = 2.4;
+    return p;
+}
+
+/// LLaMA-family profile: heavier spread everywhere and a pronounced Ad
+/// (gated-SiLU activations are dense with wide dynamic range).
+OutlierProfile
+llama_profile(double sigma, double resid_gain)
+{
+    OutlierProfile p;
+    p.channel_sigma = sigma;
+    p.outlier_channels = 6;
+    p.resid_outlier_gain = resid_gain;
+    p.o_outlier_gain = 12.0;
+    p.d_outlier_gain = 14.0;
+    p.attn_sharpness = 3.0;
+    p.logit_scale = 2.4;
+    return p;
+}
+
+}  // namespace
+
+ModuleMacs
+module_macs_per_token(const ModelDims &dims, Family family)
+{
+    const double d = dims.d_model;
+    const double f = dims.d_ffn;
+    const double layers = dims.n_layers;
+    ModuleMacs m;
+    m.qkv = 3.0 * d * d * layers;
+    m.o = d * d * layers;
+    // LLaMA's Au feeds both the gate and the up projection.
+    m.u = (family == Family::kOpt ? 1.0 : 2.0) * d * f * layers;
+    m.d = d * f * layers;
+    return m;
+}
+
+const std::vector<ModelConfig> &
+model_zoo()
+{
+    static const std::vector<ModelConfig> zoo = {
+        make("opt-1.3b", Family::kOpt,
+             {2048, 24, 32, 8192, 50272, 2048},
+             opt_profile(1.35, 8.0), 1301),
+        make("opt-2.7b", Family::kOpt,
+             {2560, 32, 32, 10240, 50272, 2048},
+             opt_profile(1.20, 6.0), 2701),
+        make("opt-6.7b", Family::kOpt,
+             {4096, 32, 32, 16384, 50272, 2048},
+             opt_profile(1.20, 6.0), 6701),
+        make("llama-7b", Family::kLlama,
+             {4096, 32, 32, 11008, 32000, 2048},
+             llama_profile(1.30, 8.0), 7001),
+        make("llama2-7b", Family::kLlama2,
+             {4096, 32, 32, 11008, 32000, 4096},
+             llama_profile(1.32, 8.0), 7002),
+        make("opt-13b", Family::kOpt,
+             {5120, 40, 40, 20480, 50272, 2048},
+             opt_profile(1.25, 6.0), 1303),
+        make("llama-13b", Family::kLlama,
+             {5120, 40, 40, 13824, 32000, 2048},
+             llama_profile(1.35, 9.0), 1304),
+        make("llama2-13b", Family::kLlama2,
+             {5120, 40, 40, 13824, 32000, 4096},
+             llama_profile(1.40, 9.0), 1305),
+        make("opt-30b", Family::kOpt,
+             {7168, 48, 56, 28672, 50272, 2048},
+             opt_profile(1.15, 6.0), 3001),
+    };
+    return zoo;
+}
+
+const ModelConfig &
+opt_125m()
+{
+    static const ModelConfig cfg =
+        make("opt-125m", Family::kOpt, {768, 12, 12, 3072, 50272, 2048},
+             opt_profile(1.30, 7.0), 125);
+    return cfg;
+}
+
+const ModelConfig &
+find_model(const std::string &name)
+{
+    for (const auto &m : model_zoo()) {
+        if (m.name == name) {
+            return m;
+        }
+    }
+    if (name == opt_125m().name) {
+        return opt_125m();
+    }
+    throw std::invalid_argument("unknown model: " + name);
+}
+
+std::string
+to_string(Family family)
+{
+    switch (family) {
+    case Family::kOpt:
+        return "OPT";
+    case Family::kLlama:
+        return "LLaMA";
+    case Family::kLlama2:
+        return "LLaMA2";
+    }
+    return "?";
+}
+
+}  // namespace anda

@@ -1,0 +1,109 @@
+#pragma once
+
+/// @file
+/// Model zoo: the LLMs the paper evaluates (OPT 1.3B-30B, LLaMA and
+/// LLaMA2 7B/13B, plus OPT-125M for the search-trace experiment).
+///
+/// Every model carries two sets of dimensions:
+///  * `real`  - the published hyperparameters, used for analytic op
+///    counting (Fig. 2), BOPs weighting, and the hardware workloads
+///    (Figs. 16-18), where only shapes matter;
+///  * `sim`   - laptop-scale dimensions used by the accuracy substrate
+///    (a full transformer with synthetic weights; see DESIGN.md
+///    substitution #1).
+///
+/// The outlier profile controls the implanted activation-outlier
+/// structure that reproduces each family's documented sensitivity to
+/// shared-exponent truncation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anda {
+
+/// Architecture family; selects activation function, norm, and
+/// positional encoding.
+enum class Family {
+    kOpt,     ///< ReLU FFN, LayerNorm, learned absolute positions.
+    kLlama,   ///< Gated-SiLU FFN, RMSNorm, rotary positions.
+    kLlama2,  ///< Same structure as LLaMA with different statistics.
+};
+
+/// Transformer dimensions.
+struct ModelDims {
+    int d_model = 0;
+    int n_layers = 0;
+    int n_heads = 0;
+    int d_ffn = 0;
+    int vocab = 0;
+    int max_seq = 0;
+
+    int head_dim() const { return d_model / n_heads; }
+};
+
+/// Parameters of the implanted activation-outlier structure.
+struct OutlierProfile {
+    /// Log-normal sigma of mild per-channel gain variation applied to
+    /// every channel (larger -> wider within-group dynamic range).
+    double channel_sigma = 0.4;
+    /// Number of strong outlier channels implanted in the residual
+    /// stream (via norm gains), mimicking LLM.int8() observations.
+    int outlier_channels = 4;
+    /// Gain multiplier of those channels as seen by Aqkv / Au.
+    double resid_outlier_gain = 12.0;
+    /// Gain multiplier of outlier output channels of Wv (drives Ao).
+    double o_outlier_gain = 6.0;
+    /// Gain multiplier of outlier output channels of the up projection
+    /// (drives Ad). LLaMA-family profiles set this higher.
+    double d_outlier_gain = 4.0;
+    /// Multiplier on Wq that sharpens attention distributions (makes
+    /// Aqkv errors more consequential, as observed in trained LLMs).
+    double attn_sharpness = 2.0;
+    /// Scale on the logit head controlling the teacher's entropy.
+    double logit_scale = 6.0;
+};
+
+/// A model in the zoo.
+struct ModelConfig {
+    std::string name;
+    Family family = Family::kOpt;
+    ModelDims real;
+    ModelDims sim;
+    OutlierProfile profile;
+    std::uint64_t seed = 0;
+
+    /// True for LLaMA-family models (gated FFN, RMSNorm, RoPE).
+    bool is_llama() const { return family != Family::kOpt; }
+};
+
+/// Per-module MAC counts (per token, per layer aggregate over all
+/// layers) of the four FP-INT GeMM module types. Used as BOPs weights
+/// and as the hardware workload generator's source of shapes.
+struct ModuleMacs {
+    double qkv = 0;  ///< Aqkv x {Wq, Wk, Wv}
+    double o = 0;    ///< Ao x Wo
+    double u = 0;    ///< Au x up (and gate for LLaMA)
+    double d = 0;    ///< Ad x down
+
+    double total() const { return qkv + o + u + d; }
+};
+
+/// MACs per token across all layers for the given dims/family.
+ModuleMacs module_macs_per_token(const ModelDims &dims, Family family);
+
+/// The nine evaluation models of Table II, in the paper's order:
+/// OPT-1.3B, OPT-2.7B, OPT-6.7B, LLaMA-7B, LLaMA2-7B, OPT-13B,
+/// LLaMA-13B, LLaMA2-13B, OPT-30B.
+const std::vector<ModelConfig> &model_zoo();
+
+/// OPT-125M, used by the Fig. 9 search-trace experiment.
+const ModelConfig &opt_125m();
+
+/// Looks a model up by name (throws std::invalid_argument if unknown).
+const ModelConfig &find_model(const std::string &name);
+
+/// Human-readable family label.
+std::string to_string(Family family);
+
+}  // namespace anda

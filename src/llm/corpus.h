@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file
+/// Synthetic evaluation corpora and perplexity measurement.
+///
+/// Standing in for WikiText2 / PTB / C4 (DESIGN.md substitution #2):
+/// each dataset is a set of sequences ancestrally sampled from the
+/// full-precision model at a dataset-specific temperature and seed.
+/// Calibration and validation splits use disjoint seeds, reproducing
+/// the paper's calibration-vs-validation gap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/transformer.h"
+
+namespace anda {
+
+/// A synthetic dataset recipe.
+struct DatasetSpec {
+    std::string name;
+    double temperature = 1.0;
+    std::uint64_t seed = 0;
+    int n_sequences = 16;
+    int seq_len = 128;
+};
+
+/// The three evaluation datasets of Table II.
+const std::vector<DatasetSpec> &standard_datasets();
+
+/// Looks a dataset up by name (throws if unknown).
+const DatasetSpec &find_dataset(const std::string &name);
+
+/// Which split of a dataset to materialize.
+enum class Split {
+    kCalibration,  ///< Reused from weight-only PTQ; drives the search.
+    kValidation,   ///< Reported in tables.
+};
+
+/// A materialized corpus.
+struct Corpus {
+    std::string name;
+    std::vector<std::vector<int>> sequences;
+
+    /// Total number of predicted tokens (seq_len - 1 per sequence).
+    std::size_t predicted_tokens() const;
+};
+
+/// Samples the corpus from the teacher (parallel over sequences,
+/// deterministic in spec/seed/split).
+Corpus generate_corpus(const Transformer &teacher,
+                       const DatasetSpec &spec, Split split);
+
+/// Perplexity of the model under `opts` on a corpus:
+/// exp(total NLL / predicted tokens). Parallelizes over sequences.
+double perplexity(const Transformer &model, const Corpus &corpus,
+                  const RunOptions &opts);
+
+/// Relative accuracy loss of a perplexity vs a reference perplexity:
+/// (ppl - ppl_ref) / ppl_ref. Positive = worse, the quantity the
+/// paper's tolerance delta bounds.
+double accuracy_loss(double ppl, double ppl_ref);
+
+}  // namespace anda

@@ -1,0 +1,41 @@
+#include "opcount.h"
+
+namespace anda {
+
+OpBreakdown
+count_generation_ops(const ModelConfig &model, std::int64_t context_len)
+{
+    const ModelDims &dims = model.real;
+    const double t = static_cast<double>(context_len);
+    const double d = dims.d_model;
+    const double layers = dims.n_layers;
+    const double vocab = dims.vocab;
+
+    OpBreakdown ops;
+
+    // Linear (FP-INT) modules: 2 ops per MAC, per token.
+    const ModuleMacs macs = module_macs_per_token(dims, model.family);
+    ops.fp_int_gemm_ops = 2.0 * macs.total() * t;
+
+    // Attention: token at position i attends over i+1 keys; QK^T and PV
+    // each cost (i+1) * d MACs per layer. Sum_{i=0..t-1}(i+1) =
+    // t(t+1)/2.
+    const double attended = t * (t + 1.0) / 2.0;
+    ops.attention_ops = 2.0 /*ops per MAC*/ * 2.0 /*QK^T and PV*/ *
+                        attended * d * layers;
+
+    // LM head: d x vocab per token.
+    ops.head_ops = 2.0 * d * vocab * t;
+
+    // Norms, residual adds, activations, softmax: a few ops per element.
+    const double per_token_other =
+        layers * (2.0 * 5.0 * d            // two norms
+                  + 2.0 * d                // residual adds
+                  + 8.0 * dims.d_ffn)      // activation function(s)
+        + 5.0 * d;                         // final norm
+    ops.other_ops = per_token_other * t;
+
+    return ops;
+}
+
+}  // namespace anda

@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file
+/// Analytic operation counting for weight-only quantized LLM inference
+/// (paper Fig. 2): which fraction of a text-generation workload's
+/// operations are FP-INT GeMMs as model size and context length vary.
+///
+/// Counts use the published (real) model dimensions. A "generation
+/// task" at context length T processes T tokens causally: linear-layer
+/// work grows linearly in T while attention (FP-FP, unquantized) grows
+/// quadratically, which is why the FP-INT share falls at long contexts.
+
+#include <cstdint>
+
+#include "llm/config.h"
+
+namespace anda {
+
+/// Operation totals (multiply-accumulate counted as 2 ops).
+struct OpBreakdown {
+    double fp_int_gemm_ops = 0;  ///< The four weight-quantized modules.
+    double attention_ops = 0;    ///< QK^T and PV (FP-FP).
+    double head_ops = 0;         ///< LM head (also a weight GeMM).
+    double other_ops = 0;        ///< Norms, activations, rotary, softmax.
+
+    double total() const
+    {
+        return fp_int_gemm_ops + attention_ops + head_ops + other_ops;
+    }
+    /// Share of FP-INT GeMM operations in the total. The LM head is a
+    /// weight-quantized GeMM too and counts toward the FP-INT bucket
+    /// (it is just not one of the four Anda-optimized module types).
+    double fp_int_share() const
+    {
+        return (fp_int_gemm_ops + head_ops) / total();
+    }
+};
+
+/// Ops to process a causal sequence of `context_len` tokens with the
+/// given real-dims model.
+OpBreakdown count_generation_ops(const ModelConfig &model,
+                                 std::int64_t context_len);
+
+}  // namespace anda

@@ -1,0 +1,172 @@
+#include "ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace anda {
+
+void
+layer_norm(std::span<const float> x, std::span<const float> gain,
+           std::span<float> out, float eps)
+{
+    assert(x.size() == gain.size() && x.size() == out.size());
+    double sum = 0.0;
+    for (float v : x) {
+        sum += v;
+    }
+    const double m = sum / static_cast<double>(x.size());
+    double var = 0.0;
+    for (float v : x) {
+        var += (v - m) * (v - m);
+    }
+    var /= static_cast<double>(x.size());
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = (x[i] - static_cast<float>(m)) * inv * gain[i];
+    }
+}
+
+void
+rms_norm(std::span<const float> x, std::span<const float> gain,
+         std::span<float> out, float eps)
+{
+    assert(x.size() == gain.size() && x.size() == out.size());
+    double sq = 0.0;
+    for (float v : x) {
+        sq += static_cast<double>(v) * v;
+    }
+    const float inv = 1.0f / std::sqrt(static_cast<float>(
+                                           sq / static_cast<double>(
+                                                    x.size())) +
+                                       eps);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = x[i] * inv * gain[i];
+    }
+}
+
+void
+softmax_inplace(std::span<float> x)
+{
+    if (x.empty()) {
+        return;
+    }
+    float mx = x[0];
+    for (float v : x) {
+        mx = std::max(mx, v);
+    }
+    double sum = 0.0;
+    for (float &v : x) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (float &v : x) {
+        v *= inv;
+    }
+}
+
+float
+silu(float x)
+{
+    return x / (1.0f + std::exp(-x));
+}
+
+void
+rope_inplace(std::span<float> head, int pos)
+{
+    assert(head.size() % 2 == 0);
+    const std::size_t half = head.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        const double freq =
+            std::pow(10000.0, -2.0 * static_cast<double>(i) /
+                                  static_cast<double>(head.size()));
+        const double angle = static_cast<double>(pos) * freq;
+        const float c = static_cast<float>(std::cos(angle));
+        const float s = static_cast<float>(std::sin(angle));
+        const float a = head[i];
+        const float b = head[i + half];
+        head[i] = a * c - b * s;
+        head[i + half] = a * s + b * c;
+    }
+}
+
+void
+causal_attention_head(const Matrix &q, const Matrix &k, const Matrix &v,
+                      std::size_t kv_len, std::size_t q_offset,
+                      Matrix &out)
+{
+    assert(q.cols() == k.cols() && k.cols() == v.cols());
+    assert(kv_len <= k.rows());
+    assert(out.rows() == q.rows() && out.cols() == v.cols());
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(q.cols()));
+    std::vector<float> scores(kv_len);
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+        const std::size_t visible =
+            std::min(kv_len, q_offset + i + 1);
+        for (std::size_t j = 0; j < visible; ++j) {
+            float s = 0.0f;
+            for (std::size_t c = 0; c < q.cols(); ++c) {
+                s += q(i, c) * k(j, c);
+            }
+            scores[j] = s * scale;
+        }
+        std::span<float> row(scores.data(), visible);
+        softmax_inplace(row);
+        for (std::size_t c = 0; c < v.cols(); ++c) {
+            float acc = 0.0f;
+            for (std::size_t j = 0; j < visible; ++j) {
+                acc += scores[j] * v(j, c);
+            }
+            out(i, c) = acc;
+        }
+    }
+}
+
+double
+log_prob_of(std::span<const float> logits, int target)
+{
+    assert(target >= 0 &&
+           static_cast<std::size_t>(target) < logits.size());
+    float mx = logits[0];
+    for (float v : logits) {
+        mx = std::max(mx, v);
+    }
+    double sum = 0.0;
+    for (float v : logits) {
+        sum += std::exp(static_cast<double>(v) - mx);
+    }
+    return static_cast<double>(logits[static_cast<std::size_t>(target)]) -
+           mx - std::log(sum);
+}
+
+int
+sample_from_logits(std::span<const float> logits, double temperature,
+                   double u)
+{
+    assert(!logits.empty());
+    assert(temperature > 0.0);
+    float mx = logits[0];
+    for (float v : logits) {
+        mx = std::max(mx, v);
+    }
+    std::vector<double> probs(logits.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        probs[i] = std::exp((static_cast<double>(logits[i]) - mx) /
+                            temperature);
+        sum += probs[i];
+    }
+    double acc = 0.0;
+    const double threshold = u * sum;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        acc += probs[i];
+        if (acc >= threshold) {
+            return static_cast<int>(i);
+        }
+    }
+    return static_cast<int>(probs.size() - 1);
+}
+
+}  // namespace anda

@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file
+/// Elementwise / normalization / attention primitives of the
+/// transformer substrate. Non-GeMM operations run in float32 and are
+/// rounded through FP16 at module boundaries, matching the paper's
+/// deployment assumption (only the four FP-INT GeMMs change format).
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace anda {
+
+/// LayerNorm over the last dimension with per-channel gain (bias-free).
+void layer_norm(std::span<const float> x, std::span<const float> gain,
+                std::span<float> out, float eps = 1e-5f);
+
+/// RMSNorm over the last dimension with per-channel gain.
+void rms_norm(std::span<const float> x, std::span<const float> gain,
+              std::span<float> out, float eps = 1e-5f);
+
+/// In-place numerically-stable softmax.
+void softmax_inplace(std::span<float> x);
+
+/// ReLU.
+inline float relu(float x) { return x > 0.0f ? x : 0.0f; }
+
+/// SiLU (x * sigmoid(x)).
+float silu(float x);
+
+/// Applies rotary position embedding to one head vector (dim must be
+/// even); `pos` is the absolute token position.
+void rope_inplace(std::span<float> head, int pos);
+
+/// Causal single-head attention: q, k, v are [t x head_dim] for one
+/// head; writes the context into out (same shape). `kv_len` rows of
+/// k/v are valid; query row i attends to keys [0, q_offset + i].
+void causal_attention_head(const Matrix &q, const Matrix &k,
+                           const Matrix &v, std::size_t kv_len,
+                           std::size_t q_offset, Matrix &out);
+
+/// Log-softmax of one row returned as the log-probability of `target`.
+double log_prob_of(std::span<const float> logits, int target);
+
+/// Samples from softmax(logits / temperature) with the given uniform
+/// random draw u in [0, 1).
+int sample_from_logits(std::span<const float> logits, double temperature,
+                       double u);
+
+}  // namespace anda

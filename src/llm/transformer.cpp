@@ -1,0 +1,500 @@
+#include "transformer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+#include "llm/ops.h"
+
+namespace anda {
+
+PrecisionConfig
+PrecisionConfig::uniform_bfp(int group_size, int mantissa_bits)
+{
+    PrecisionConfig p;
+    p.qkv = ActFormat::bfp(group_size, mantissa_bits);
+    p.o = ActFormat::bfp(group_size, mantissa_bits);
+    p.u = ActFormat::bfp(group_size, mantissa_bits);
+    p.d = ActFormat::bfp(group_size, mantissa_bits);
+    return p;
+}
+
+PrecisionConfig
+PrecisionConfig::anda(const std::array<int, 4> &mantissa)
+{
+    PrecisionConfig p;
+    p.qkv = ActFormat::bfp(64, mantissa[0]);
+    p.o = ActFormat::bfp(64, mantissa[1]);
+    p.u = ActFormat::bfp(64, mantissa[2]);
+    p.d = ActFormat::bfp(64, mantissa[3]);
+    return p;
+}
+
+namespace {
+
+/// Fills a [rows x cols] matrix with N(0, std) entries.
+void
+fill_gaussian(Matrix &m, SplitMix64 &rng, double std)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            m(r, c) = static_cast<float>(rng.normal(0.0, std));
+        }
+    }
+}
+
+/// Scales `count` distinct rows of m by `gain` (outlier implants on
+/// output channels).
+void
+implant_row_outliers(Matrix &m, SplitMix64 &rng, int count, double gain)
+{
+    for (int i = 0; i < count; ++i) {
+        const std::size_t r = rng.uniform_index(m.rows());
+        for (float &v : m.row(r)) {
+            v *= static_cast<float>(gain);
+        }
+    }
+}
+
+/// Rounds every element of a matrix through FP16.
+void
+round_matrix_fp16(Matrix &m)
+{
+    for (float &v : m.flat()) {
+        v = fp16_round(v);
+    }
+}
+
+WeightQuantParams
+w4_params()
+{
+    WeightQuantParams p;
+    p.group_size = 128;
+    p.bits = 4;
+    p.clip_search = true;
+    return p;
+}
+
+Matrix
+quantize_dequantize(const Matrix &w)
+{
+    return QuantizedWeight::quantize(w, w4_params()).dequantize();
+}
+
+}  // namespace
+
+/// Per-layer key/value cache for incremental (sampling) decode.
+struct Transformer::KvCache {
+    KvCache(std::size_t n_layers, std::size_t max_seq, std::size_t d)
+    {
+        k.reserve(n_layers);
+        v.reserve(n_layers);
+        for (std::size_t l = 0; l < n_layers; ++l) {
+            k.emplace_back(max_seq, d);
+            v.emplace_back(max_seq, d);
+        }
+    }
+    std::vector<Matrix> k;
+    std::vector<Matrix> v;
+};
+
+Transformer::Transformer(const ModelConfig &cfg) : cfg_(cfg)
+{
+    const ModelDims &d = cfg_.sim;
+    const OutlierProfile &prof = cfg_.profile;
+    if (d.d_model % d.n_heads != 0) {
+        throw std::invalid_argument("d_model must divide by n_heads");
+    }
+
+    SplitMix64 rng(derive_seed(cfg_.seed, 0));
+
+    // Per-channel gain profile of the residual stream: mild log-normal
+    // variation plus a few strong outlier channels. Applied to the norm
+    // gains so the post-norm activations (Aqkv, Au) carry the
+    // documented outlier structure.
+    std::vector<float> channel_gain(static_cast<std::size_t>(d.d_model));
+    for (auto &g : channel_gain) {
+        g = static_cast<float>(rng.lognormal(0.0, prof.channel_sigma));
+    }
+    for (int i = 0; i < prof.outlier_channels; ++i) {
+        const std::size_t c = rng.uniform_index(channel_gain.size());
+        channel_gain[c] *= static_cast<float>(prof.resid_outlier_gain);
+    }
+
+    // Token embedding with mild channel variation; position table for
+    // the OPT family.
+    embedding_ = Matrix(static_cast<std::size_t>(d.vocab),
+                        static_cast<std::size_t>(d.d_model));
+    fill_gaussian(embedding_, rng, 1.0);
+    for (std::size_t v = 0; v < embedding_.rows(); ++v) {
+        for (std::size_t c = 0; c < embedding_.cols(); ++c) {
+            embedding_(v, c) *=
+                0.8f + 0.2f * std::min(2.0f, channel_gain[c]);
+        }
+    }
+    round_matrix_fp16(embedding_);
+    // The logit head is untied from the embedding: with random
+    // (untrained) weights a tied head creates a degenerate
+    // copy-current-token attractor through the residual stream, which
+    // no trained LM exhibits.
+    lm_head_ = Matrix(static_cast<std::size_t>(d.vocab),
+                      static_cast<std::size_t>(d.d_model));
+    fill_gaussian(lm_head_, rng, 1.0);
+    round_matrix_fp16(lm_head_);
+    if (!cfg_.is_llama()) {
+        pos_embedding_ = Matrix(static_cast<std::size_t>(d.max_seq),
+                                static_cast<std::size_t>(d.d_model));
+        fill_gaussian(pos_embedding_, rng, 0.1);
+        round_matrix_fp16(pos_embedding_);
+    }
+
+    final_norm_gain_.resize(static_cast<std::size_t>(d.d_model));
+    for (auto &g : final_norm_gain_) {
+        g = static_cast<float>(rng.lognormal(0.0, 0.15));
+    }
+
+    const double inv_sqrt_d = 1.0 / std::sqrt(double(d.d_model));
+    const double inv_sqrt_f = 1.0 / std::sqrt(double(d.d_ffn));
+    const double resid_scale =
+        1.0 / std::sqrt(2.0 * double(d.n_layers));
+
+    // Trained networks adapt downstream weight magnitudes to their
+    // input scales. The implanted gains inflate the post-norm
+    // activation RMS, so projection weights are normalized by that RMS:
+    // outliers then shape the *relative* within-group dynamic range
+    // (what shared-exponent truncation reacts to) without saturating
+    // attention or the residual stream.
+    double gain_sq = 0.0;
+    for (float g : channel_gain) {
+        gain_sq += static_cast<double>(g) * g;
+    }
+    const double rms_gain =
+        std::sqrt(gain_sq / static_cast<double>(channel_gain.size()));
+    // RMS inflation of the Ao input caused by Wv row outliers and of
+    // the Ad input caused by up-projection row outliers.
+    const double rms_ctx = std::sqrt(
+        1.0 + prof.outlier_channels *
+                  (prof.o_outlier_gain * prof.o_outlier_gain - 1.0) /
+                  double(d.d_model));
+    const double rms_ffn = std::sqrt(
+        1.0 + prof.outlier_channels *
+                  (prof.d_outlier_gain * prof.d_outlier_gain - 1.0) /
+                  double(d.d_ffn));
+
+    layers_.resize(static_cast<std::size_t>(d.n_layers));
+    for (auto &lw : layers_) {
+        lw.norm1_gain = channel_gain;
+        lw.norm2_gain = channel_gain;
+
+        lw.wq = Matrix(d.d_model, d.d_model);
+        lw.wk = Matrix(d.d_model, d.d_model);
+        lw.wv = Matrix(d.d_model, d.d_model);
+        lw.wo = Matrix(d.d_model, d.d_model);
+        fill_gaussian(lw.wq, rng,
+                      inv_sqrt_d * prof.attn_sharpness / rms_gain);
+        fill_gaussian(lw.wk, rng, inv_sqrt_d / rms_gain);
+        fill_gaussian(lw.wv, rng, inv_sqrt_d / rms_gain);
+        fill_gaussian(lw.wo, rng, inv_sqrt_d * resid_scale / rms_ctx);
+        // Outlier output channels of Wv shape the Ao tap's statistics.
+        implant_row_outliers(lw.wv, rng, prof.outlier_channels,
+                             prof.o_outlier_gain);
+
+        lw.w_up = Matrix(d.d_ffn, d.d_model);
+        lw.w_down = Matrix(d.d_model, d.d_ffn);
+        fill_gaussian(lw.w_up, rng, inv_sqrt_d / rms_gain);
+        fill_gaussian(lw.w_down, rng,
+                      inv_sqrt_f * resid_scale / rms_ffn);
+        // Outlier FFN channels shape the Ad tap's statistics.
+        implant_row_outliers(lw.w_up, rng, prof.outlier_channels,
+                             prof.d_outlier_gain);
+        if (cfg_.is_llama()) {
+            lw.w_gate = Matrix(d.d_ffn, d.d_model);
+            fill_gaussian(lw.w_gate, rng, inv_sqrt_d / rms_gain);
+        }
+
+        // Deployment-quantized (W4A16g128) copies.
+        lw.wq_dq = quantize_dequantize(lw.wq);
+        lw.wk_dq = quantize_dequantize(lw.wk);
+        lw.wv_dq = quantize_dequantize(lw.wv);
+        lw.wo_dq = quantize_dequantize(lw.wo);
+        lw.w_up_dq = quantize_dequantize(lw.w_up);
+        lw.w_down_dq = quantize_dequantize(lw.w_down);
+        if (cfg_.is_llama()) {
+            lw.w_gate_dq = quantize_dequantize(lw.w_gate);
+        }
+    }
+}
+
+Matrix
+Transformer::embed(std::span<const int> tokens,
+                   std::size_t pos_offset) const
+{
+    const ModelDims &d = cfg_.sim;
+    Matrix x(tokens.size(), static_cast<std::size_t>(d.d_model));
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+        const int tok = tokens[t];
+        if (tok < 0 || tok >= d.vocab) {
+            throw std::invalid_argument("token id out of range");
+        }
+        const auto erow = embedding_.row(static_cast<std::size_t>(tok));
+        auto xrow = x.row(t);
+        std::copy(erow.begin(), erow.end(), xrow.begin());
+        if (!cfg_.is_llama()) {
+            const std::size_t pos = pos_offset + t;
+            assert(pos < pos_embedding_.rows());
+            const auto prow = pos_embedding_.row(pos);
+            for (std::size_t c = 0; c < xrow.size(); ++c) {
+                xrow[c] += prow[c];
+            }
+        }
+        for (float &v : xrow) {
+            v = fp16_round(v);
+        }
+    }
+    return x;
+}
+
+void
+Transformer::run_block(std::size_t layer, Matrix &x,
+                       const RunOptions &opts, KvCache *kv,
+                       std::size_t pos_offset) const
+{
+    const ModelDims &dims = cfg_.sim;
+    const LayerWeights &lw = layers_[layer];
+    const std::size_t t_len = x.rows();
+    const std::size_t d = static_cast<std::size_t>(dims.d_model);
+    const std::size_t heads = static_cast<std::size_t>(dims.n_heads);
+    const std::size_t hd = d / heads;
+    const bool llama = cfg_.is_llama();
+
+    // ---- Attention ----
+    Matrix a(t_len, d);
+    for (std::size_t t = 0; t < t_len; ++t) {
+        if (llama) {
+            rms_norm(x.row(t), lw.norm1_gain, a.row(t));
+        } else {
+            layer_norm(x.row(t), lw.norm1_gain, a.row(t));
+        }
+    }
+    apply_act_format(a, opts.prec.qkv, opts.threads);  // Aqkv tap.
+
+    Matrix q = matmul_wt(a, pick(lw.wq, lw.wq_dq, opts), opts.threads);
+    Matrix k = matmul_wt(a, pick(lw.wk, lw.wk_dq, opts), opts.threads);
+    Matrix v = matmul_wt(a, pick(lw.wv, lw.wv_dq, opts), opts.threads);
+    if (llama) {
+        for (std::size_t t = 0; t < t_len; ++t) {
+            for (std::size_t h = 0; h < heads; ++h) {
+                rope_inplace(q.row(t).subspan(h * hd, hd),
+                             static_cast<int>(pos_offset + t));
+                rope_inplace(k.row(t).subspan(h * hd, hd),
+                             static_cast<int>(pos_offset + t));
+            }
+        }
+    }
+
+    std::size_t kv_len = t_len;
+    const Matrix *k_src = &k;
+    const Matrix *v_src = &v;
+    if (kv != nullptr) {
+        // Incremental decode: append the new rows to the cache and
+        // attend over the full prefix.
+        Matrix &kc = kv->k[layer];
+        Matrix &vc = kv->v[layer];
+        for (std::size_t t = 0; t < t_len; ++t) {
+            const std::size_t row = pos_offset + t;
+            assert(row < kc.rows());
+            std::copy(k.row(t).begin(), k.row(t).end(),
+                      kc.row(row).begin());
+            std::copy(v.row(t).begin(), v.row(t).end(),
+                      vc.row(row).begin());
+        }
+        kv_len = pos_offset + t_len;
+        k_src = &kc;
+        v_src = &vc;
+    }
+
+    Matrix ctx(t_len, d);
+    {
+        Matrix qh(t_len, hd);
+        Matrix kh(kv_len, hd);
+        Matrix vh(kv_len, hd);
+        Matrix oh(t_len, hd);
+        for (std::size_t h = 0; h < heads; ++h) {
+            for (std::size_t t = 0; t < t_len; ++t) {
+                const auto src = q.row(t).subspan(h * hd, hd);
+                std::copy(src.begin(), src.end(), qh.row(t).begin());
+            }
+            for (std::size_t t = 0; t < kv_len; ++t) {
+                const auto ks = k_src->row(t).subspan(h * hd, hd);
+                const auto vs = v_src->row(t).subspan(h * hd, hd);
+                std::copy(ks.begin(), ks.end(), kh.row(t).begin());
+                std::copy(vs.begin(), vs.end(), vh.row(t).begin());
+            }
+            causal_attention_head(qh, kh, vh, kv_len, pos_offset, oh);
+            for (std::size_t t = 0; t < t_len; ++t) {
+                const auto dst = ctx.row(t).subspan(h * hd, hd);
+                std::copy(oh.row(t).begin(), oh.row(t).end(),
+                          dst.begin());
+            }
+        }
+    }
+    apply_act_format(ctx, opts.prec.o, opts.threads);  // Ao tap.
+    const Matrix att_out =
+        matmul_wt(ctx, pick(lw.wo, lw.wo_dq, opts), opts.threads);
+    for (std::size_t t = 0; t < t_len; ++t) {
+        auto xrow = x.row(t);
+        const auto orow = att_out.row(t);
+        for (std::size_t c = 0; c < d; ++c) {
+            xrow[c] = fp16_round(xrow[c] + orow[c]);
+        }
+    }
+
+    // ---- Feed-forward ----
+    Matrix b(t_len, d);
+    for (std::size_t t = 0; t < t_len; ++t) {
+        if (llama) {
+            rms_norm(x.row(t), lw.norm2_gain, b.row(t));
+        } else {
+            layer_norm(x.row(t), lw.norm2_gain, b.row(t));
+        }
+    }
+    apply_act_format(b, opts.prec.u, opts.threads);  // Au tap.
+
+    Matrix hmat;
+    if (llama) {
+        Matrix g =
+            matmul_wt(b, pick(lw.w_gate, lw.w_gate_dq, opts),
+                      opts.threads);
+        hmat = matmul_wt(b, pick(lw.w_up, lw.w_up_dq, opts),
+                         opts.threads);
+        for (std::size_t i = 0; i < hmat.size(); ++i) {
+            hmat.flat()[i] = silu(g.flat()[i]) * hmat.flat()[i];
+        }
+    } else {
+        hmat = matmul_wt(b, pick(lw.w_up, lw.w_up_dq, opts),
+                         opts.threads);
+        for (float &vv : hmat.flat()) {
+            vv = relu(vv);
+        }
+    }
+    apply_act_format(hmat, opts.prec.d, opts.threads);  // Ad tap.
+    const Matrix ffn_out =
+        matmul_wt(hmat, pick(lw.w_down, lw.w_down_dq, opts),
+                  opts.threads);
+    for (std::size_t t = 0; t < t_len; ++t) {
+        auto xrow = x.row(t);
+        const auto frow = ffn_out.row(t);
+        for (std::size_t c = 0; c < d; ++c) {
+            xrow[c] = fp16_round(xrow[c] + frow[c]);
+        }
+    }
+}
+
+void
+Transformer::final_logits_row(std::span<const float> x,
+                              std::span<float> out) const
+{
+    const ModelDims &dims = cfg_.sim;
+    std::vector<float> normed(x.size());
+    if (cfg_.is_llama()) {
+        rms_norm(x, final_norm_gain_, normed);
+    } else {
+        layer_norm(x, final_norm_gain_, normed);
+    }
+    for (float &v : normed) {
+        v = fp16_round(v);
+    }
+    const float scale =
+        static_cast<float>(cfg_.profile.logit_scale) /
+        std::sqrt(static_cast<float>(dims.d_model));
+    for (std::size_t v = 0; v < out.size(); ++v) {
+        out[v] = scale * dot_f32(normed.data(),
+                                 lm_head_.data() + v * x.size(),
+                                 x.size());
+    }
+}
+
+Matrix
+Transformer::forward_logits(std::span<const int> tokens,
+                            const RunOptions &opts) const
+{
+    if (tokens.empty()) {
+        throw std::invalid_argument("empty token sequence");
+    }
+    if (tokens.size() >
+        static_cast<std::size_t>(cfg_.sim.max_seq)) {
+        throw std::invalid_argument("sequence exceeds max_seq");
+    }
+    Matrix x = embed(tokens, 0);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        run_block(l, x, opts, nullptr, 0);
+    }
+    Matrix logits(tokens.size(),
+                  static_cast<std::size_t>(cfg_.sim.vocab));
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+        final_logits_row(x.row(t), logits.row(t));
+    }
+    return logits;
+}
+
+double
+Transformer::sequence_nll(std::span<const int> tokens,
+                          const RunOptions &opts) const
+{
+    if (tokens.size() < 2) {
+        throw std::invalid_argument("need at least two tokens for NLL");
+    }
+    const Matrix logits = forward_logits(tokens, opts);
+    double nll = 0.0;
+    for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+        nll -= log_prob_of(logits.row(t), tokens[t + 1]);
+    }
+    return nll;
+}
+
+std::vector<int>
+Transformer::sample_sequence(int length, double temperature,
+                             std::uint64_t seed) const
+{
+    if (length < 1 || length > cfg_.sim.max_seq) {
+        throw std::invalid_argument("bad sample length");
+    }
+    // The teacher runs the deployment-FP16 configuration with
+    // full-precision weights (the Table II "FP16" row).
+    RunOptions opts;
+    opts.quantized_weights = false;
+    opts.prec = PrecisionConfig::all_fp16();
+    opts.threads = 1;
+
+    SplitMix64 rng(seed);
+    KvCache cache(layers_.size(),
+                  static_cast<std::size_t>(cfg_.sim.max_seq),
+                  static_cast<std::size_t>(cfg_.sim.d_model));
+    std::vector<int> tokens = {0};
+    std::vector<float> logits(static_cast<std::size_t>(cfg_.sim.vocab));
+    for (int pos = 0; pos + 1 < length; ++pos) {
+        const int tok = tokens.back();
+        Matrix x = embed(std::span<const int>(&tok, 1),
+                         static_cast<std::size_t>(pos));
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            run_block(l, x, opts, &cache,
+                      static_cast<std::size_t>(pos));
+        }
+        final_logits_row(x.row(0), logits);
+        tokens.push_back(
+            sample_from_logits(logits, temperature, rng.uniform()));
+    }
+    return tokens;
+}
+
+std::size_t
+fp_int_weight_count(const ModelDims &dims, Family family)
+{
+    const auto m = module_macs_per_token(dims, family);
+    return static_cast<std::size_t>(m.total());
+}
+
+}  // namespace anda

@@ -1,0 +1,125 @@
+#pragma once
+
+/// @file
+/// The weight-only quantized transformer substrate (paper Fig. 3).
+///
+/// A full decoder-only transformer with synthetic, deterministic
+/// weights: OPT-style (ReLU FFN, LayerNorm, learned positions) or
+/// LLaMA-style (gated SiLU, RMSNorm, RoPE). The four FP-INT GeMM
+/// activation taps (Aqkv, Ao, Au, Ad) accept any activation format, so
+/// the accuracy experiments drop in FP16 / BFP / Anda representations
+/// exactly where the paper does. Weights of those four module types are
+/// quantized to W4A16g128; everything else (attention, norms, logit
+/// head) stays FP16.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "kernels/gemm.h"
+#include "llm/config.h"
+#include "quant/weight_quant.h"
+
+namespace anda {
+
+/// Activation formats of the four FP-INT GeMM taps.
+struct PrecisionConfig {
+    ActFormat qkv = ActFormat::fp16();
+    ActFormat o = ActFormat::fp16();
+    ActFormat u = ActFormat::fp16();
+    ActFormat d = ActFormat::fp16();
+
+    /// The W4A16 baseline: all taps FP16.
+    static PrecisionConfig all_fp16() { return {}; }
+
+    /// Uniform BFP on all four taps.
+    static PrecisionConfig uniform_bfp(int group_size, int mantissa_bits);
+
+    /// Anda precision 4-tuple [Mqkv, Mo, Mu, Md] at group size 64.
+    static PrecisionConfig anda(const std::array<int, 4> &mantissa);
+};
+
+/// Options of one evaluation run.
+struct RunOptions {
+    /// Use the quantized W4 weights (false = full-precision weights,
+    /// the FP16 row of Table II).
+    bool quantized_weights = true;
+    PrecisionConfig prec;
+    /// Threads for inner GeMMs (keep 1 when the caller parallelizes
+    /// across sequences).
+    std::size_t threads = 1;
+};
+
+/// A constructed model instance with both full-precision and quantized
+/// weights, ready for evaluation and sampling.
+class Transformer {
+  public:
+    /// Builds weights deterministically from cfg.seed using the sim
+    /// dimensions and the outlier profile.
+    explicit Transformer(const ModelConfig &cfg);
+
+    const ModelConfig &config() const { return cfg_; }
+    const ModelDims &dims() const { return cfg_.sim; }
+
+    /// Full-sequence forward pass; returns logits [T x vocab].
+    Matrix forward_logits(std::span<const int> tokens,
+                          const RunOptions &opts) const;
+
+    /// Sum of next-token negative log-likelihoods over the sequence
+    /// (predicting tokens[1..T-1]); the number of predicted tokens is
+    /// tokens.size() - 1.
+    double sequence_nll(std::span<const int> tokens,
+                        const RunOptions &opts) const;
+
+    /// Ancestrally samples a sequence from the full-precision model
+    /// (the "teacher"); deterministic in (seed). First token is 0 (BOS).
+    std::vector<int> sample_sequence(int length, double temperature,
+                                     std::uint64_t seed) const;
+
+  private:
+    struct LayerWeights {
+        std::vector<float> norm1_gain;
+        std::vector<float> norm2_gain;
+        // Full-precision weights, [out x in] row-major.
+        Matrix wq, wk, wv, wo;
+        Matrix w_gate;  // LLaMA only.
+        Matrix w_up;
+        Matrix w_down;
+        // Dequantized W4A16g128 weights (same shapes).
+        Matrix wq_dq, wk_dq, wv_dq, wo_dq;
+        Matrix w_gate_dq;
+        Matrix w_up_dq, w_down_dq;
+    };
+
+    /// Runs one transformer block over x [T x d] in place.
+    /// kv_cache != nullptr enables incremental decoding (see .cpp).
+    struct KvCache;
+    void run_block(std::size_t layer, Matrix &x, const RunOptions &opts,
+                   KvCache *kv, std::size_t pos_offset) const;
+
+    const Matrix &pick(const Matrix &full, const Matrix &dq,
+                       const RunOptions &opts) const
+    {
+        return opts.quantized_weights ? dq : full;
+    }
+
+    Matrix embed(std::span<const int> tokens,
+                 std::size_t pos_offset) const;
+    void final_logits_row(std::span<const float> x,
+                          std::span<float> out) const;
+
+    ModelConfig cfg_;
+    Matrix embedding_;      // [vocab x d]
+    Matrix lm_head_;        // [vocab x d], untied from the embedding
+    Matrix pos_embedding_;  // [max_seq x d] (OPT only)
+    std::vector<float> final_norm_gain_;
+    std::vector<LayerWeights> layers_;
+};
+
+/// Total parameter count of the four FP-INT module types (sim dims).
+std::size_t fp_int_weight_count(const ModelDims &dims, Family family);
+
+}  // namespace anda

@@ -1,0 +1,49 @@
+#include "bops.h"
+
+#include <sstream>
+
+namespace anda {
+
+double
+tuple_bops_per_token(const ModelConfig &model, const PrecisionTuple &tuple)
+{
+    const ModuleMacs macs = module_macs_per_token(model.real, model.family);
+    return macs.qkv * bops_per_mac(tuple[0]) +
+           macs.o * bops_per_mac(tuple[1]) +
+           macs.u * bops_per_mac(tuple[2]) +
+           macs.d * bops_per_mac(tuple[3]);
+}
+
+double
+uniform_bops_per_token(const ModelConfig &model, int act_bits)
+{
+    const ModuleMacs macs = module_macs_per_token(model.real, model.family);
+    return macs.total() * bops_per_mac(act_bits);
+}
+
+double
+bops_saving_vs_fp16(const ModelConfig &model, const PrecisionTuple &tuple)
+{
+    return uniform_bops_per_token(model, kFp16EffectiveBits) /
+           tuple_bops_per_token(model, tuple);
+}
+
+double
+weighted_mantissa(const ModelConfig &model, const PrecisionTuple &tuple)
+{
+    const ModuleMacs macs = module_macs_per_token(model.real, model.family);
+    const double weighted = macs.qkv * tuple[0] + macs.o * tuple[1] +
+                            macs.u * tuple[2] + macs.d * tuple[3];
+    return weighted / macs.total();
+}
+
+std::string
+to_string(const PrecisionTuple &tuple)
+{
+    std::ostringstream out;
+    out << "[" << tuple[0] << ", " << tuple[1] << ", " << tuple[2] << ", "
+        << tuple[3] << "]";
+    return out.str();
+}
+
+}  // namespace anda

@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file
+/// Bit-operation (BOPs) cost model (paper Sec. III-C / V-A).
+///
+/// One FP16 x INT4 MAC counts as 64 BOPs. Replacing the FP16 activation
+/// with an M-bit-mantissa grouped format costs M x 4 BOPs per MAC
+/// (FIGNA's effective 13 bits -> 52 BOPs -> the paper's 1.23x saving;
+/// VS-Quant's 4 bits -> 16 BOPs -> 4.0x). A precision 4-tuple weights
+/// each module's BOPs by that module's share of MACs, using the real
+/// model dimensions.
+
+#include <array>
+#include <string>
+
+#include "llm/config.h"
+
+namespace anda {
+
+/// A precision combination [Mqkv, Mo, Mu, Md].
+using PrecisionTuple = std::array<int, 4>;
+
+/// Effective activation bit-width of reference formats.
+inline constexpr int kFp16EffectiveBits = 16;
+inline constexpr int kFignaEffectiveBits = 13;
+inline constexpr int kVsQuantEffectiveBits = 4;
+inline constexpr int kWeightBits = 4;
+
+/// BOPs per MAC for an activation of `act_bits` effective bits.
+constexpr double
+bops_per_mac(int act_bits)
+{
+    return static_cast<double>(act_bits) * kWeightBits;
+}
+
+/// Total BOPs per token of a model under a precision tuple (real dims).
+double tuple_bops_per_token(const ModelConfig &model,
+                            const PrecisionTuple &tuple);
+
+/// Total BOPs per token with one uniform effective bit-width.
+double uniform_bops_per_token(const ModelConfig &model, int act_bits);
+
+/// BOPs saving factor of a tuple vs the FP16 baseline (>= 1).
+double bops_saving_vs_fp16(const ModelConfig &model,
+                           const PrecisionTuple &tuple);
+
+/// MAC-share-weighted average mantissa length of a tuple. This is the
+/// quantity the hardware model's execution time scales with.
+double weighted_mantissa(const ModelConfig &model,
+                         const PrecisionTuple &tuple);
+
+/// Formats a tuple like "[7, 7, 6, 5]".
+std::string to_string(const PrecisionTuple &tuple);
+
+}  // namespace anda

@@ -1,0 +1,108 @@
+#include "harness.h"
+
+#include <sstream>
+
+namespace anda {
+
+std::string
+default_cache_path()
+{
+    return "anda_eval_cache.tsv";
+}
+
+SearchHarness::SearchHarness(const ModelConfig &cfg,
+                             const DatasetSpec &dataset, ResultCache *cache)
+    : cfg_(cfg), dataset_(dataset), cache_(cache),
+      model_(std::make_unique<Transformer>(cfg))
+{
+}
+
+const Corpus &
+SearchHarness::corpus(Split split)
+{
+    auto &slot =
+        split == Split::kCalibration ? calibration_ : validation_;
+    if (!slot) {
+        slot = std::make_unique<Corpus>(
+            generate_corpus(*model_, dataset_, split));
+    }
+    return *slot;
+}
+
+double
+SearchHarness::cached_ppl(const std::string &key, const RunOptions &opts,
+                          Split split)
+{
+    std::ostringstream full;
+    full << cfg_.name << "|" << dataset_.name << "|"
+         << (split == Split::kCalibration ? "cal" : "val") << "|" << key;
+    if (cache_ != nullptr) {
+        if (const auto hit = cache_->get(full.str())) {
+            return *hit;
+        }
+    }
+    const double ppl = perplexity(*model_, corpus(split), opts);
+    ++evaluations_;
+    if (cache_ != nullptr) {
+        cache_->put(full.str(), ppl);
+    }
+    return ppl;
+}
+
+double
+SearchHarness::fp16_ppl()
+{
+    RunOptions opts;
+    opts.quantized_weights = false;
+    return cached_ppl("fp16", opts, Split::kValidation);
+}
+
+double
+SearchHarness::baseline_ppl(Split split)
+{
+    RunOptions opts;
+    opts.quantized_weights = true;
+    return cached_ppl("w4a16", opts, split);
+}
+
+double
+SearchHarness::uniform_bfp_ppl(Split split, int group_size,
+                               int mantissa_bits)
+{
+    RunOptions opts;
+    opts.quantized_weights = true;
+    // Group size 0 denotes "whole row" (#channels) grouping.
+    const int gs = group_size == 0
+                       ? cfg_.sim.d_model
+                       : group_size;
+    opts.prec = PrecisionConfig::uniform_bfp(gs, mantissa_bits);
+    std::ostringstream key;
+    key << "bfp-gs" << gs << "-m" << mantissa_bits;
+    return cached_ppl(key.str(), opts, split);
+}
+
+double
+SearchHarness::tuple_ppl(Split split, const PrecisionTuple &tuple)
+{
+    RunOptions opts;
+    opts.quantized_weights = true;
+    opts.prec = PrecisionConfig::anda(tuple);
+    return cached_ppl("anda" + to_string(tuple), opts, split);
+}
+
+SearchResult
+SearchHarness::search(double tolerance, int max_iterations)
+{
+    const double base = baseline_ppl(Split::kCalibration);
+    const AccuracyEvaluator evaluate =
+        [this, base](const PrecisionTuple &tuple) {
+            const double ppl = tuple_ppl(Split::kCalibration, tuple);
+            return 1.0 - accuracy_loss(ppl, base);
+        };
+    SearchConfig config;
+    config.tolerance = tolerance;
+    config.max_iterations = max_iterations;
+    return adaptive_precision_search(cfg_, evaluate, config);
+}
+
+}  // namespace anda

@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file
+/// End-to-end harness: model + datasets + cached perplexity evaluation
+/// + Algorithm 1. Shared by the accuracy benches (Table II, Figs. 9,
+/// 14, 18) so repeated evaluations of the same (model, dataset, format)
+/// triple cost one forward pass across the whole benchmark suite.
+
+#include <memory>
+#include <string>
+
+#include "common/result_cache.h"
+#include "llm/corpus.h"
+#include "llm/transformer.h"
+#include "search/precision_search.h"
+
+namespace anda {
+
+/// Default location of the on-disk evaluation cache (created on first
+/// use in the working directory).
+std::string default_cache_path();
+
+/// A model bound to one dataset's calibration and validation splits.
+class SearchHarness {
+  public:
+    /// cache may be nullptr (no memoization).
+    SearchHarness(const ModelConfig &cfg, const DatasetSpec &dataset,
+                  ResultCache *cache);
+
+    const Transformer &model() const { return *model_; }
+    const ModelConfig &config() const { return cfg_; }
+
+    /// Validation PPL of the FP16 (unquantized weights) configuration.
+    double fp16_ppl();
+
+    /// PPL of the W4A16 baseline (quantized weights, FP16 activations).
+    double baseline_ppl(Split split);
+
+    /// PPL of a uniform BFP activation format on all four taps.
+    double uniform_bfp_ppl(Split split, int group_size, int mantissa_bits);
+
+    /// PPL of an Anda precision tuple.
+    double tuple_ppl(Split split, const PrecisionTuple &tuple);
+
+    /// Runs Algorithm 1 against the calibration split.
+    SearchResult search(double tolerance, int max_iterations = 32);
+
+    /// Number of evaluator calls that missed the cache so far.
+    std::size_t evaluations() const { return evaluations_; }
+
+  private:
+    double cached_ppl(const std::string &key, const RunOptions &opts,
+                      Split split);
+    const Corpus &corpus(Split split);
+
+    ModelConfig cfg_;
+    DatasetSpec dataset_;
+    ResultCache *cache_;
+    std::unique_ptr<Transformer> model_;
+    std::unique_ptr<Corpus> calibration_;
+    std::unique_ptr<Corpus> validation_;
+    std::size_t evaluations_ = 0;
+};
+
+}  // namespace anda

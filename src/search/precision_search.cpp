@@ -1,0 +1,84 @@
+#include "precision_search.h"
+
+#include <set>
+
+namespace anda {
+
+SearchResult
+adaptive_precision_search(const ModelConfig &model,
+                          const AccuracyEvaluator &evaluate,
+                          const SearchConfig &config)
+{
+    SearchResult result;
+
+    // Priority queue keyed by BOPs (ties broken by tuple content for
+    // determinism) plus a visited set. std::set gives ordered pop-min
+    // with O(log n) dedup.
+    std::set<std::pair<double, PrecisionTuple>> queue;
+    std::set<PrecisionTuple> visited;
+    std::set<PrecisionTuple> enqueued;
+
+    auto push = [&](const PrecisionTuple &t) {
+        if (visited.count(t) || enqueued.count(t)) {
+            return;
+        }
+        queue.insert({tuple_bops_per_token(model, t), t});
+        enqueued.insert(t);
+    };
+
+    // S1: uniform starting points, aggressive to conservative.
+    for (int m = config.seed_lo; m <= config.seed_hi; ++m) {
+        push({m, m, m, m});
+    }
+
+    double best_bops = 0.0;
+    bool has_best = false;
+    PrecisionTuple best{};
+
+    const double threshold = 1.0 - config.tolerance;
+
+    int iteration = 0;
+    while (iteration < config.max_iterations && !queue.empty()) {
+        // S2: extract the promising (lowest BOPs) combination.
+        const auto [bops, tuple] = *queue.begin();
+        queue.erase(queue.begin());
+        enqueued.erase(tuple);
+        visited.insert(tuple);
+
+        const double accuracy = evaluate(tuple);
+
+        // S3: update and relax the best combination.
+        SearchStep step;
+        step.iteration = iteration + 1;
+        step.tuple = tuple;
+        step.bops = bops;
+        step.accuracy = accuracy;
+        if ((!has_best || bops < best_bops) && accuracy >= threshold) {
+            best = tuple;
+            best_bops = bops;
+            has_best = true;
+            step.accepted = true;
+            for (int dim = 0; dim < 4; ++dim) {
+                PrecisionTuple n = tuple;
+                if (n[static_cast<std::size_t>(dim)] >
+                    config.min_mantissa) {
+                    --n[static_cast<std::size_t>(dim)];
+                    push(n);
+                }
+            }
+        }
+        step.has_best = has_best;
+        step.best_so_far = best;
+        result.trace.push_back(step);
+        ++iteration;
+    }
+
+    result.iterations_used = iteration;
+    if (has_best) {
+        result.best = best;
+        result.best_bops = best_bops;
+    }
+    return result;
+}
+
+}  // namespace anda

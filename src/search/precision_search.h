@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file
+/// Adaptive precision combination search (paper Algorithm 1).
+///
+/// A training-free, one-shot, compile-time search over [Mqkv, Mo, Mu,
+/// Md]: a priority queue ordered by BOPs is seeded with uniform
+/// combinations [4,4,4,4] .. [13,13,13,13]; each iteration evaluates
+/// the cheapest unvisited combination on the calibration corpus and,
+/// when it both lowers BOPs below the incumbent and keeps the relative
+/// accuracy loss within delta, adopts it and relaxes it by decrementing
+/// each module's mantissa length by one.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "search/bops.h"
+
+namespace anda {
+
+/// Evaluates the calibration accuracy metric of a tuple. Returns the
+/// accuracy value (higher = better); the search compares it against
+/// (1 - delta) * fp_accuracy. For the LLM substrate this is 1/PPL-based
+/// relative accuracy (see make_ppl_evaluator).
+using AccuracyEvaluator = std::function<double(const PrecisionTuple &)>;
+
+/// Inputs of the search.
+struct SearchConfig {
+    /// Relative accuracy loss tolerance (e.g. 0.01 for 1%).
+    double tolerance = 0.01;
+    /// Iteration cap (the paper uses 32 in all experiments).
+    int max_iterations = 32;
+    /// Uniform seeding range [lo, hi] (paper: 4..13).
+    int seed_lo = 4;
+    int seed_hi = 13;
+    /// Lower bound for relaxed mantissa lengths.
+    int min_mantissa = 1;
+};
+
+/// One evaluated combination in the search trace (Fig. 9 material).
+struct SearchStep {
+    int iteration = 0;
+    PrecisionTuple tuple{};
+    double bops = 0.0;
+    double accuracy = 0.0;     ///< Relative accuracy (1.0 = baseline).
+    bool accepted = false;     ///< Became the new best.
+    PrecisionTuple best_so_far{};
+    bool has_best = false;
+};
+
+/// Search output.
+struct SearchResult {
+    std::optional<PrecisionTuple> best;
+    double best_bops = 0.0;
+    std::vector<SearchStep> trace;
+    int iterations_used = 0;
+};
+
+/// Runs Algorithm 1. `evaluate` returns the relative accuracy of a
+/// tuple on the calibration set, where the baseline (FP16 activations)
+/// evaluates to 1.0; a tuple passes when accuracy >= 1 - tolerance.
+/// BOPs are computed from `model`'s real dimensions.
+SearchResult adaptive_precision_search(const ModelConfig &model,
+                                       const AccuracyEvaluator &evaluate,
+                                       const SearchConfig &config);
+
+}  // namespace anda

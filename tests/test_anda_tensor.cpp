@@ -1,0 +1,137 @@
+// Tests for the Anda bit-plane tensor format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "format/anda_tensor.h"
+
+namespace anda {
+namespace {
+
+std::vector<float>
+random_values(std::size_t n, std::uint64_t seed, double outlier_prob = 0.05)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> vals(n);
+    for (auto &v : vals) {
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+        if (rng.uniform() < outlier_prob) {
+            v *= 50.0f;
+        }
+    }
+    return vals;
+}
+
+TEST(AndaTensor, MatchesBfpRoundtripAtGroup64)
+{
+    // The Anda format *is* BFP with GS=64 in bit-plane layout: decoding
+    // must agree exactly with the scalar BFP path.
+    for (int m : {1, 3, 5, 8, 11, 13, 16}) {
+        const auto vals = random_values(320, 42 + m);
+        const AndaTensor t = AndaTensor::encode(vals, m);
+        const auto decoded = t.decode();
+        const auto expected = bfp_roundtrip(vals, {kAndaGroupSize, m});
+        ASSERT_EQ(decoded.size(), expected.size());
+        for (std::size_t i = 0; i < decoded.size(); ++i) {
+            EXPECT_EQ(decoded[i], expected[i]) << "m=" << m << " i=" << i;
+        }
+    }
+}
+
+TEST(AndaTensor, MantissaReassembly)
+{
+    const auto vals = random_values(64, 9);
+    const AndaTensor t = AndaTensor::encode(vals, 8);
+    const BfpGroup g = encode_bfp_group(vals, {kAndaGroupSize, 8});
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(t.mantissa_of(i), g.elems[i].mantissa);
+        EXPECT_EQ(t.sign_of(i), g.elems[i].sign);
+    }
+}
+
+TEST(AndaTensor, PartialGroupPadsWithZeros)
+{
+    const auto vals = random_values(70, 3);
+    const AndaTensor t = AndaTensor::encode(vals, 6);
+    EXPECT_EQ(t.group_count(), 2u);
+    EXPECT_EQ(t.size(), 70u);
+    const auto decoded = t.decode();
+    EXPECT_EQ(decoded.size(), 70u);
+    // Padding lanes of the second group must be zero planes.
+    const AndaGroup &g1 = t.group(1);
+    for (int lane = 6; lane < 64; ++lane) {
+        for (int p = 0; p < 6; ++p) {
+            EXPECT_EQ((g1.mant_planes[p] >> lane) & 1u, 0u);
+        }
+    }
+}
+
+TEST(AndaTensor, StorageBitsFormula)
+{
+    const auto vals = random_values(128, 5);
+    for (int m : {1, 4, 8, 16}) {
+        const AndaTensor t = AndaTensor::encode(vals, m);
+        EXPECT_EQ(t.storage_bits(),
+                  2u * (64u * (1u + static_cast<unsigned>(m)) + 8u));
+    }
+    EXPECT_DOUBLE_EQ(AndaTensor::bits_per_element(6), 7.125);
+}
+
+TEST(AndaTensor, RejectsBadMantissaLength)
+{
+    const auto vals = random_values(64, 1);
+    EXPECT_THROW(AndaTensor::encode(vals, 0), std::invalid_argument);
+    EXPECT_THROW(AndaTensor::encode(vals, 17), std::invalid_argument);
+}
+
+TEST(AndaTensor, PlaneZeroIsMsb)
+{
+    // A single value 1.0 alone in a group: mantissa = 1 << (m-1) ... for
+    // m <= 11 the MSB plane must carry the hidden bit.
+    const std::vector<float> vals = {1.0f};
+    const AndaTensor t = AndaTensor::encode(vals, 5);
+    EXPECT_EQ(t.group(0).mant_planes[0] & 1u, 1u);
+    for (int p = 1; p < 5; ++p) {
+        EXPECT_EQ(t.group(0).mant_planes[p] & 1u, 0u);
+    }
+}
+
+class AndaMantissaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AndaMantissaSweep, RmsErrorShrinksGeometrically)
+{
+    const int m = GetParam();
+    auto rms = [](const std::vector<float> &vals, const AndaTensor &t) {
+        const auto dec = t.decode();
+        double s = 0.0;
+        for (std::size_t i = 0; i < dec.size(); ++i) {
+            const double d = fp16_round(vals[i]) - dec[i];
+            s += d * d;
+        }
+        return std::sqrt(s / static_cast<double>(dec.size()));
+    };
+
+    // Without outliers the exponent spread within a group is small, so
+    // two extra mantissa bits shrink truncation error roughly 4x.
+    const auto smooth = random_values(4096, 77, 0.0);
+    const double e_lo = rms(smooth, AndaTensor::encode(smooth, m));
+    const double e_hi = rms(smooth, AndaTensor::encode(smooth, m + 2));
+    EXPECT_LT(e_hi, e_lo / 1.8) << "m=" << m;
+
+    // With heavy outliers flushed-to-zero elements dominate the error;
+    // extra bits must still never hurt (weaker, but data-independent).
+    const auto spiky = random_values(4096, 78, 0.02);
+    const double s_lo = rms(spiky, AndaTensor::encode(spiky, m));
+    const double s_hi = rms(spiky, AndaTensor::encode(spiky, m + 2));
+    EXPECT_LE(s_hi, s_lo) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AndaMantissaSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace anda

@@ -1,0 +1,116 @@
+// Tests for the bit-plane compressor (BPC) behavioral and timing model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "format/compressor.h"
+
+namespace anda {
+namespace {
+
+std::vector<float>
+random_values(std::size_t n, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> vals(n);
+    for (auto &v : vals) {
+        v = static_cast<float>(rng.normal(0.0, 4.0));
+        if (rng.uniform() < 0.08) {
+            v *= 64.0f;
+        }
+    }
+    return vals;
+}
+
+TEST(Compressor, LaneBitExactAgainstDirectEncoding)
+{
+    // The serial aligner must reproduce AndaTensor::encode plane by
+    // plane for every mantissa length.
+    for (int m = 1; m <= 16; ++m) {
+        const auto vals = random_values(64, 100 + m);
+        const BpcLaneOutput lane = bpc_compress_lane(vals, m);
+        const AndaTensor ref = AndaTensor::encode(vals, m);
+        const AndaGroup &g = ref.group(0);
+        EXPECT_EQ(lane.sign_plane, g.sign_plane) << "m=" << m;
+        EXPECT_EQ(lane.shared_exponent, g.shared_exponent) << "m=" << m;
+        for (int p = 0; p < m; ++p) {
+            EXPECT_EQ(lane.mant_planes[static_cast<std::size_t>(p)],
+                      g.mant_planes[p])
+                << "m=" << m << " plane=" << p;
+        }
+    }
+}
+
+TEST(Compressor, HandlesAllZeroLane)
+{
+    const std::vector<float> zeros(64, 0.0f);
+    const BpcLaneOutput lane = bpc_compress_lane(zeros, 8);
+    EXPECT_EQ(lane.sign_plane, 0u);
+    for (auto p : lane.mant_planes) {
+        EXPECT_EQ(p, 0u);
+    }
+}
+
+TEST(Compressor, HandlesSubnormalsAndOutliersTogether)
+{
+    std::vector<float> vals(64, 0.0f);
+    vals[0] = 32768.0f;              // Large outlier.
+    vals[1] = 5.96e-08f;             // Smallest subnormal.
+    vals[2] = -1.0f;
+    const BpcLaneOutput lane = bpc_compress_lane(vals, 12);
+    const AndaTensor ref = AndaTensor::encode(vals, 12);
+    for (int p = 0; p < 12; ++p) {
+        EXPECT_EQ(lane.mant_planes[static_cast<std::size_t>(p)],
+                  ref.group(0).mant_planes[p]);
+    }
+    // The subnormal is far below the shared scale: flushed to zero.
+    EXPECT_EQ(ref.decode()[1], 0.0f);
+}
+
+TEST(Compressor, FullTensorCompression)
+{
+    const auto vals = random_values(1000, 5);
+    const AndaTensor t = bpc_compress(vals, 7);
+    const AndaTensor ref = AndaTensor::encode(vals, 7);
+    const auto a = t.decode();
+    const auto b = ref.decode();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(Compressor, RejectsOversizedLane)
+{
+    const std::vector<float> vals(65, 1.0f);
+    EXPECT_THROW(bpc_compress_lane(vals, 8), std::invalid_argument);
+    EXPECT_THROW(bpc_compress_lane(std::span<const float>(vals).first(64),
+                                   0),
+                 std::invalid_argument);
+}
+
+TEST(CompressorTiming, CyclesScaleWithMantissaAndBatches)
+{
+    // One batch = 16 lanes x 64 values = 1024 values.
+    EXPECT_EQ(BpcTiming::cycles(0, 8), 0u);
+    EXPECT_EQ(BpcTiming::cycles(1024, 8),
+              8u + BpcTiming::kPipelineDepth);
+    EXPECT_EQ(BpcTiming::cycles(1, 8), 8u + BpcTiming::kPipelineDepth);
+    EXPECT_EQ(BpcTiming::cycles(2048, 8),
+              16u + BpcTiming::kPipelineDepth);
+    EXPECT_EQ(BpcTiming::cycles(1024, 4),
+              4u + BpcTiming::kPipelineDepth);
+}
+
+TEST(CompressorTiming, CompressionOverlapsNotWorseThanLinear)
+{
+    // Cycles grow linearly in batches: no superlinear stalls modeled.
+    const auto c1 = BpcTiming::cycles(10 * 1024, 6);
+    const auto c2 = BpcTiming::cycles(20 * 1024, 6);
+    EXPECT_EQ(c2 - c1, 10u * 6u);
+}
+
+}  // namespace
+}  // namespace anda

@@ -1,0 +1,134 @@
+// Unit tests for the software IEEE binary16 implementation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/fp16.h"
+
+namespace anda {
+namespace {
+
+TEST(Fp16, ZeroRoundTrips)
+{
+    EXPECT_EQ(Fp16(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(Fp16(0.0f).to_float(), 0.0f);
+    EXPECT_TRUE(std::signbit(Fp16(-0.0f).to_float()));
+}
+
+TEST(Fp16, KnownEncodings)
+{
+    EXPECT_EQ(Fp16(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Fp16(-2.0f).bits(), 0xc000);
+    EXPECT_EQ(Fp16(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Fp16(65504.0f).bits(), 0x7bff);
+    // Smallest positive normal: 2^-14.
+    EXPECT_EQ(Fp16(6.103515625e-05f).bits(), 0x0400);
+    // Smallest positive subnormal: 2^-24.
+    EXPECT_EQ(Fp16(5.960464477539063e-08f).bits(), 0x0001);
+}
+
+TEST(Fp16, RoundsToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10:
+    // must round to even mantissa (1.0).
+    EXPECT_EQ(Fp16(1.0f + 0x1.0p-11f).bits(), 0x3c00);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds up
+    // to the even mantissa 1+2^-9.
+    EXPECT_EQ(Fp16(1.0f + 3 * 0x1.0p-11f).bits(), 0x3c02);
+    // Just above halfway rounds up.
+    EXPECT_EQ(Fp16(1.0f + 0x1.02p-11f).bits(), 0x3c01);
+}
+
+TEST(Fp16, OverflowGoesToInfinity)
+{
+    EXPECT_TRUE(Fp16(1e6f).is_inf());
+    EXPECT_TRUE(Fp16(-1e6f).is_inf());
+    EXPECT_EQ(Fp16(1e6f).bits(), 0x7c00);
+    // 65520 is the rounding boundary to infinity.
+    EXPECT_TRUE(Fp16(65520.0f).is_inf());
+    EXPECT_EQ(Fp16(65519.0f).bits(), 0x7bff);
+}
+
+TEST(Fp16, NanPropagates)
+{
+    EXPECT_TRUE(Fp16(std::numeric_limits<float>::quiet_NaN()).is_nan());
+    EXPECT_TRUE(std::isnan(
+        Fp16(std::numeric_limits<float>::quiet_NaN()).to_float()));
+}
+
+TEST(Fp16, SubnormalRoundTrip)
+{
+    // 2^-24 * k for k in [1, 1023] are exactly representable.
+    for (std::uint32_t k = 1; k < 1024; k += 37) {
+        const float v = std::ldexp(static_cast<float>(k), -24);
+        const Fp16 h(v);
+        EXPECT_EQ(h.to_float(), v) << "k=" << k;
+        EXPECT_EQ(h.biased_exponent(), 0);
+    }
+}
+
+TEST(Fp16, UnderflowFlushesToZeroWithRounding)
+{
+    // Below half the smallest subnormal rounds to zero.
+    EXPECT_EQ(Fp16(std::ldexp(1.0f, -26)).bits(), 0x0000);
+    // Exactly half the smallest subnormal: ties-to-even -> zero.
+    EXPECT_EQ(Fp16(std::ldexp(1.0f, -25)).bits(), 0x0000);
+    // Slightly above half rounds to the smallest subnormal.
+    EXPECT_EQ(Fp16(std::ldexp(1.1f, -25)).bits(), 0x0001);
+}
+
+TEST(Fp16, AllBitPatternsRoundTripThroughFloat)
+{
+    // Every finite FP16 value widened to float and converted back must
+    // reproduce its bit pattern (float32 is a superset).
+    for (std::uint32_t b = 0; b < 0x10000; ++b) {
+        const Fp16 h = Fp16::from_bits(static_cast<std::uint16_t>(b));
+        if (h.is_nan()) {
+            continue;  // NaN payloads are canonicalized.
+        }
+        const Fp16 back(h.to_float());
+        EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+    }
+}
+
+TEST(Fp16, SignificandIncludesHiddenBit)
+{
+    EXPECT_EQ(Fp16(1.0f).significand(), 1 << 10);
+    EXPECT_EQ(Fp16(1.5f).significand(), (1 << 10) | (1 << 9));
+    // Subnormals have no hidden bit.
+    EXPECT_EQ(Fp16::from_bits(0x0001).significand(), 1);
+}
+
+TEST(Fp16, RoundHelperIsIdempotent)
+{
+    for (float v : {0.1f, 3.14159f, -123.456f, 1e-5f, 40000.0f}) {
+        const float once = fp16_round(v);
+        EXPECT_EQ(fp16_round(once), once);
+    }
+}
+
+class Fp16MonotonicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fp16MonotonicTest, ConversionIsMonotonic)
+{
+    // Rounding must preserve ordering across a dense sweep around
+    // different magnitudes.
+    const float base = std::ldexp(1.0f, GetParam());
+    float prev = -std::numeric_limits<float>::infinity();
+    for (int i = 0; i < 1000; ++i) {
+        const float v = base * (1.0f + static_cast<float>(i) * 1e-4f);
+        const float r = fp16_round(v);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, Fp16MonotonicTest,
+                         ::testing::Values(-20, -14, -8, -1, 0, 1, 8, 14));
+
+}  // namespace
+}  // namespace anda

@@ -1,0 +1,191 @@
+// Tests for the GeMM kernels, including bit-exact equivalence between
+// the Anda integer datapath and the fake-quantized float path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "kernels/gemm.h"
+
+namespace anda {
+namespace {
+
+Matrix
+random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+              double scale = 1.0, double outlier_prob = 0.0)
+{
+    SplitMix64 rng(seed);
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            float v = static_cast<float>(rng.normal(0.0, scale));
+            if (outlier_prob > 0 && rng.uniform() < outlier_prob) {
+                v *= 30.0f;
+            }
+            m(r, c) = v;
+        }
+    }
+    return m;
+}
+
+TEST(Gemm, MatmulMatchesDoubleReference)
+{
+    const Matrix a = random_matrix(9, 130, 1);
+    const Matrix w = random_matrix(7, 130, 2);
+    const Matrix fast = matmul_wt(a, w);
+    const Matrix ref = gemm_ref(a, w);
+    EXPECT_LT(max_abs_diff(fast, ref), 1e-3);
+}
+
+TEST(Gemm, DotHandlesShortAndUnalignedLengths)
+{
+    SplitMix64 rng(3);
+    for (std::size_t n : {0u, 1u, 7u, 15u, 16u, 17u, 33u, 100u}) {
+        std::vector<float> a(n);
+        std::vector<float> b(n);
+        double ref = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = static_cast<float>(rng.normal(0, 1));
+            b[i] = static_cast<float>(rng.normal(0, 1));
+            ref += static_cast<double>(a[i]) * b[i];
+        }
+        EXPECT_NEAR(dot_f32(a.data(), b.data(), n), ref, 1e-4)
+            << "n=" << n;
+    }
+}
+
+TEST(Gemm, Fp16PathErrorSmall)
+{
+    const Matrix a = random_matrix(8, 256, 4);
+    const Matrix w = random_matrix(16, 256, 5, 0.06);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    const Matrix out = gemm_fp16_dequant(a, q);
+    const Matrix ref = gemm_ref(a, q.dequantize());
+    // Only activation FP16 rounding differs from the reference.
+    EXPECT_LT(rms_diff(out, ref), 0.05);
+}
+
+TEST(Gemm, AndaMatchesFakeQuantBitExactWithoutGroupRounding)
+{
+    const Matrix a = random_matrix(6, 256, 6, 1.0, 0.05);
+    const Matrix w = random_matrix(10, 256, 7, 0.06);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    for (int m : {2, 4, 6, 8, 11, 13}) {
+        AndaGemmOptions opts;
+        opts.mantissa_bits = m;
+        opts.fp16_group_rounding = false;
+        opts.fp16_output = false;
+        const Matrix hw = gemm_anda(a, q, opts);
+        const Matrix fq = gemm_bfp_fakequant(a, q, {kAndaGroupSize, m});
+        // The integer path computes the same products; only float
+        // summation order differs (integer group dots are exact, the
+        // fake-quant path sums 64 floats). Tolerance covers that.
+        EXPECT_LT(rms_diff(hw, fq), 2e-4) << "m=" << m;
+    }
+}
+
+TEST(Gemm, AndaGroupDotMatchesScalarProducts)
+{
+    SplitMix64 rng(9);
+    std::vector<float> vals(64);
+    std::vector<std::int8_t> w(64);
+    for (int i = 0; i < 64; ++i) {
+        vals[static_cast<std::size_t>(i)] =
+            static_cast<float>(rng.normal(0.0, 2.0));
+        w[static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(static_cast<int>(rng.next() % 15) - 7);
+    }
+    for (int m : {1, 4, 8, 12, 16}) {
+        const AndaTensor t = AndaTensor::encode(vals, m);
+        const std::int64_t hw = anda_group_dot(t.group(0), m, w);
+        std::int64_t ref = 0;
+        for (int i = 0; i < 64; ++i) {
+            const std::int64_t mant =
+                t.mantissa_of(static_cast<std::size_t>(i));
+            const std::int64_t s =
+                t.sign_of(static_cast<std::size_t>(i)) ? -1 : 1;
+            ref += s * mant * w[static_cast<std::size_t>(i)];
+        }
+        EXPECT_EQ(hw, ref) << "m=" << m;
+    }
+}
+
+TEST(Gemm, AndaFp16GroupRoundingStaysClose)
+{
+    const Matrix a = random_matrix(4, 128, 10);
+    const Matrix w = random_matrix(6, 128, 11, 0.08);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    AndaGemmOptions exact{8, false, false};
+    AndaGemmOptions rounded{8, true, false};
+    const Matrix e = gemm_anda(a, q, exact);
+    const Matrix r = gemm_anda(a, q, rounded);
+    // FP16 rounding of group partials adds bounded relative error.
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < e.size(); ++i) {
+        const double denom = std::max(1.0, std::abs(double(e.flat()[i])));
+        max_rel = std::max(
+            max_rel, std::abs(double(e.flat()[i]) - r.flat()[i]) / denom);
+    }
+    EXPECT_LT(max_rel, 0.01);
+}
+
+TEST(Gemm, AndaRejectsMisalignedWeightGroups)
+{
+    const Matrix a = random_matrix(2, 96, 12);
+    const Matrix w = random_matrix(2, 96, 13);
+    const auto q = QuantizedWeight::quantize(w, {96, 4, true});
+    AndaGemmOptions opts;
+    EXPECT_THROW(gemm_anda(a, q, opts), std::invalid_argument);
+}
+
+TEST(Gemm, HigherMantissaMonotonicallyImprovesGemmAccuracy)
+{
+    const Matrix a = random_matrix(8, 512, 14, 1.0, 0.05);
+    const Matrix w = random_matrix(12, 512, 15, 0.05);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    const Matrix ref = gemm_ref(a, q.dequantize());
+    double prev = 1e30;
+    for (int m = 2; m <= 12; m += 2) {
+        const Matrix out = gemm_bfp_fakequant(a, q, {kAndaGroupSize, m});
+        const double err = rms_diff(out, ref);
+        EXPECT_LE(err, prev * 1.05) << "m=" << m;
+        prev = err;
+    }
+    // At m=13+ the conversion is nearly lossless vs FP16 activations.
+    const Matrix out13 = gemm_bfp_fakequant(a, q, {kAndaGroupSize, 13});
+    const Matrix fp16 = gemm_fp16_dequant(a, q);
+    EXPECT_LT(rms_diff(out13, fp16), 0.02);
+}
+
+struct ShapeParam {
+    std::size_t t, n, k;
+};
+
+class GemmShapeSweep : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(GemmShapeSweep, AllPathsAgreeOnShape)
+{
+    const auto [t, n, k] = GetParam();
+    const Matrix a = random_matrix(t, k, 16 + t);
+    const Matrix w = random_matrix(n, k, 17 + n, 0.07);
+    const auto q = QuantizedWeight::quantize(
+        w, {static_cast<int>(std::min<std::size_t>(128, k)), 4, true});
+    const Matrix fp = gemm_fp16_dequant(a, q);
+    EXPECT_EQ(fp.rows(), t);
+    EXPECT_EQ(fp.cols(), n);
+    if (k % 64 == 0) {
+        AndaGemmOptions opts{10, false, false};
+        const Matrix hw = gemm_anda(a, q, opts);
+        EXPECT_LT(rms_diff(hw, fp), 0.05);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeSweep,
+    ::testing::Values(ShapeParam{1, 1, 64}, ShapeParam{3, 5, 128},
+                      ShapeParam{16, 16, 256}, ShapeParam{5, 3, 100},
+                      ShapeParam{2, 8, 192}, ShapeParam{33, 9, 64}));
+
+}  // namespace
+}  // namespace anda

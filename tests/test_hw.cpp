@@ -1,0 +1,223 @@
+// Tests for the hardware model: gate estimators, PE metrics, the
+// closed-form GeMM model, the cycle simulator (cross-validated), area
+// accounting, and energy conservation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/area.h"
+#include "hw/cycle_sim.h"
+#include "hw/perf_model.h"
+#include "hw/workload.h"
+
+namespace anda {
+namespace {
+
+TEST(Gates, EstimatorsScaleSensibly)
+{
+    EXPECT_GT(int_multiplier(11, 11).nand2(),
+              int_multiplier(11, 4).nand2());
+    EXPECT_GT(adder(32).nand2(), adder(8).nand2());
+    EXPECT_GT(barrel_shifter(48, 48).nand2(),
+              barrel_shifter(16, 16).nand2());
+    EXPECT_DOUBLE_EQ(registers(10).nand2(), 80.0);
+    // Adder tree of 64 inputs has 63 adders.
+    const auto tree = adder_tree(64, 8);
+    EXPECT_GT(tree.nand2(), 63 * adder(8).nand2() * 0.9);
+}
+
+TEST(PeModels, OrderingMatchesPaper)
+{
+    // Fig. 15(a,b): FP-FP > FP-INT > iFPU > FIGNA > M11 > M8; Anda
+    // sits between iFPU and FIGNA with a modest overhead over FIGNA.
+    const auto area = [](PeType t) { return pe_metrics(t).area_mm2; };
+    EXPECT_GT(area(PeType::kFpFp), area(PeType::kFpInt));
+    EXPECT_GT(area(PeType::kFpInt), area(PeType::kIfpu));
+    EXPECT_GT(area(PeType::kIfpu), area(PeType::kFigna));
+    EXPECT_GT(area(PeType::kFigna), area(PeType::kFignaM11));
+    EXPECT_GT(area(PeType::kFignaM11), area(PeType::kFignaM8));
+    // Anda overhead vs FIGNA: paper reports 18% area / 27% power;
+    // our gate model lands in the same regime (1.1x - 1.6x).
+    const double ratio = area(PeType::kAnda) / area(PeType::kFigna);
+    EXPECT_GT(ratio, 1.1);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(PeModels, AndaCyclesPerGroup)
+{
+    EXPECT_EQ(anda_cycles_per_group(4), 5);
+    EXPECT_EQ(anda_cycles_per_group(15), 16);
+    EXPECT_EQ(baseline_cycles_per_group(PeType::kFignaM11), 11);
+    EXPECT_EQ(baseline_cycles_per_group(PeType::kFpFp), 16);
+}
+
+TEST(Systems, SevenConfigsWithSharedBudget)
+{
+    const auto &configs = system_configs();
+    ASSERT_EQ(configs.size(), 7u);
+    for (const auto &c : configs) {
+        EXPECT_EQ(c.mxu_units, 16);
+        EXPECT_DOUBLE_EQ(c.weight_buffer_bytes, 1024.0 * 1024.0);
+    }
+    EXPECT_TRUE(find_system("anda").has_bpc);
+    EXPECT_FALSE(find_system("figna").has_bpc);
+    EXPECT_THROW(find_system("tpu"), std::invalid_argument);
+}
+
+TEST(Systems, AndaStorageShrinksWithMantissa)
+{
+    const auto &anda = find_system("anda");
+    EXPECT_NEAR(anda.act_bits_per_element(6), 7.125, 1e-9);
+    EXPECT_NEAR(anda.act_bits_per_element(15), 16.125, 1e-9);
+    const auto &fp = find_system("fp-fp");
+    EXPECT_DOUBLE_EQ(fp.act_bits_per_element(6), 16.0);
+}
+
+TEST(PerfModel, ComputeCyclesFormula)
+{
+    const auto &tech = tech16();
+    const GemmShape s{64, 128, 32};
+    // 2 out tiles * 4 token tiles * 2 k-groups * cpg.
+    const auto fp = analyze_gemm(find_system("fp-fp"), tech, s, 16);
+    EXPECT_EQ(fp.compute_cycles, 2u * 4u * 2u * 16u);
+    const auto anda7 = analyze_gemm(find_system("anda"), tech, s, 7);
+    EXPECT_EQ(anda7.compute_cycles, 2u * 4u * 2u * 8u);
+    const auto m8 = analyze_gemm(find_system("figna-m8"), tech, s, 16);
+    EXPECT_EQ(m8.compute_cycles, 2u * 4u * 2u * 8u);
+}
+
+TEST(PerfModel, SpeedupScalesWithMantissa)
+{
+    const auto &tech = tech16();
+    const GemmShape s{2048, 4096, 4096};
+    const auto base =
+        analyze_gemm(find_system("fp-fp"), tech, s, 16).total_cycles;
+    double prev = 0.0;
+    for (int m : {13, 10, 7, 4}) {
+        const auto c = analyze_gemm(find_system("anda"), tech, s, m);
+        const double speedup =
+            static_cast<double>(base) / c.total_cycles;
+        EXPECT_GT(speedup, prev) << "m=" << m;
+        EXPECT_NEAR(speedup, 16.0 / (m + 1), 0.35) << "m=" << m;
+        prev = speedup;
+    }
+}
+
+TEST(PerfModel, AndaReducesDramTraffic)
+{
+    const auto &tech = tech16();
+    const GemmShape s{2048, 5120, 5120};
+    const auto fp = analyze_gemm(find_system("fp-fp"), tech, s, 16);
+    const auto an = analyze_gemm(find_system("anda"), tech, s, 6);
+    EXPECT_LT(an.act_dram_bits, fp.act_dram_bits * 0.6);
+    EXPECT_LT(an.weight_dram_bits, fp.weight_dram_bits * 0.75);
+    EXPECT_LT(an.total_energy_pj(), fp.total_energy_pj() * 0.5);
+}
+
+TEST(PerfModel, EnergyComponentsSumToTotal)
+{
+    const auto &tech = tech16();
+    const auto ops =
+        build_prefill_workload(find_model("opt-6.7b"), 512, {7, 6, 6, 5});
+    for (const auto &cfg : system_configs()) {
+        const SystemRun run = run_workload(cfg, tech, ops);
+        double sum = run.compute_energy_pj + run.bpc_energy_pj +
+                     run.act_sram_energy_pj + run.wgt_sram_energy_pj +
+                     run.dram_energy_pj;
+        EXPECT_NEAR(run.total_energy_pj(), sum,
+                    1e-6 * std::abs(sum))
+            << cfg.name;
+        EXPECT_GT(run.cycles, 0u) << cfg.name;
+    }
+}
+
+TEST(PerfModel, WorkloadStructure)
+{
+    const auto &m = find_model("llama-7b");
+    const auto ops = build_prefill_workload(m, 1024, {9, 8, 8, 7});
+    // 4 GeMMs per layer.
+    EXPECT_EQ(ops.size(), static_cast<std::size_t>(m.real.n_layers) * 4);
+    // LLaMA Au GeMM spans gate+up.
+    EXPECT_EQ(ops[2].label, "u");
+    EXPECT_EQ(ops[2].shape.n,
+              2ull * static_cast<std::uint64_t>(m.real.d_ffn));
+    EXPECT_EQ(ops[2].act_mantissa, 8);
+    EXPECT_EQ(ops[3].shape.k,
+              static_cast<std::uint64_t>(m.real.d_ffn));
+}
+
+TEST(CycleSim, MatchesClosedFormWithinTolerance)
+{
+    const auto &tech = tech16();
+    const std::vector<GemmShape> shapes = {
+        {64, 128, 64}, {256, 512, 768}, {1000, 320, 192},
+        {2048, 4096, 4096},
+    };
+    for (const auto &cfg : system_configs()) {
+        for (const auto &s : shapes) {
+            for (int m : {5, 8, 13}) {
+                const auto cf = analyze_gemm(cfg, tech, s, m);
+                const auto cs = simulate_gemm(cfg, tech, s, m);
+                const double ratio =
+                    static_cast<double>(cs.cycles) /
+                    static_cast<double>(cf.total_cycles);
+                EXPECT_GT(ratio, 0.95)
+                    << cfg.name << " " << s.tokens << "x" << s.k;
+                EXPECT_LT(ratio, 1.15)
+                    << cfg.name << " " << s.tokens << "x" << s.k;
+                // Busy accounting matches the closed-form compute.
+                EXPECT_EQ(cs.compute_busy, cf.compute_cycles)
+                    << cfg.name;
+            }
+        }
+    }
+}
+
+TEST(Area, AndaSmallerThanFpFpSystem)
+{
+    const double anda = system_area_mm2(find_system("anda"));
+    const double fpfp = system_area_mm2(find_system("fp-fp"));
+    EXPECT_LT(anda, fpfp);
+    // Paper Table III: 2.17 mm^2; our gate model lands nearby.
+    EXPECT_GT(anda, 1.5);
+    EXPECT_LT(anda, 3.5);
+}
+
+TEST(Area, BreakdownRowsSumToTotals)
+{
+    const auto b = anda_breakdown({7.0, 0.95});
+    double area = 0.0;
+    double power = 0.0;
+    for (const auto &row : b.rows) {
+        area += row.area_mm2;
+        power += row.power_mw;
+    }
+    EXPECT_NEAR(area, b.total_area_mm2, 1e-9);
+    EXPECT_NEAR(power, b.total_power_mw, 1e-9);
+    ASSERT_EQ(b.rows.size(), 6u);
+    EXPECT_EQ(b.rows[0].name, "MXU");
+    // Buffers dominate area; MXU dominates power (paper's pattern).
+    EXPECT_GT(b.rows[3].area_mm2 + b.rows[4].area_mm2,
+              0.5 * b.total_area_mm2);
+}
+
+class MantissaEnergySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MantissaEnergySweep, EnergyFallsMonotonicallyWithMantissa)
+{
+    const int m = GetParam();
+    const auto &tech = tech16();
+    const GemmShape s{1024, 2048, 2048};
+    const auto &anda = find_system("anda");
+    const double e_m = analyze_gemm(anda, tech, s, m).total_energy_pj();
+    const double e_hi =
+        analyze_gemm(anda, tech, s, m + 1).total_energy_pj();
+    EXPECT_LT(e_m, e_hi) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MantissaEnergySweep,
+                         ::testing::Values(2, 4, 6, 8, 10, 12, 14));
+
+}  // namespace
+}  // namespace anda

@@ -1,0 +1,190 @@
+// Tests for the BOPs model and Algorithm 1 (on synthetic accuracy
+// oracles, so they run in microseconds and pin exact behaviour).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "llm/opcount.h"
+#include "search/precision_search.h"
+
+namespace anda {
+namespace {
+
+const ModelConfig &
+opt()
+{
+    return find_model("opt-6.7b");
+}
+
+TEST(Bops, ReferenceFormatsMatchPaperSavings)
+{
+    // FIGNA: 64/52 = 1.23x; VS-Quant: 64/16 = 4.0x.
+    const double fp16 = uniform_bops_per_token(opt(), kFp16EffectiveBits);
+    const double figna =
+        uniform_bops_per_token(opt(), kFignaEffectiveBits);
+    const double vsq =
+        uniform_bops_per_token(opt(), kVsQuantEffectiveBits);
+    EXPECT_NEAR(fp16 / figna, 64.0 / 52.0, 1e-9);
+    EXPECT_NEAR(fp16 / vsq, 4.0, 1e-9);
+}
+
+TEST(Bops, TupleWeightingFollowsMacShares)
+{
+    // OPT modules weigh 3:1:4:4, so [7,7,6,5]'s weighted mantissa is
+    // (3*7 + 1*7 + 4*6 + 4*5)/12 = 6.
+    const PrecisionTuple t{7, 7, 6, 5};
+    EXPECT_NEAR(weighted_mantissa(opt(), t), 6.0, 1e-9);
+    EXPECT_NEAR(bops_saving_vs_fp16(opt(), t), 16.0 / 6.0, 1e-9);
+    // Fig. 9: normalized BOPs of [7,7,6,5] vs FIGNA ~= 6/13 = 0.46.
+    const double vs_figna =
+        tuple_bops_per_token(opt(), t) /
+        uniform_bops_per_token(opt(), kFignaEffectiveBits);
+    EXPECT_NEAR(vs_figna, 6.0 / 13.0, 1e-9);
+}
+
+TEST(Bops, ToStringFormat)
+{
+    EXPECT_EQ(to_string(PrecisionTuple{7, 7, 6, 5}), "[7, 7, 6, 5]");
+}
+
+TEST(OpCount, FpIntShareDominatesShortContexts)
+{
+    // Fig. 2: > 90% below 4K tokens; falls with longer contexts.
+    for (const auto &model : model_zoo()) {
+        const auto ops4k = count_generation_ops(model, 4096);
+        EXPECT_GT(ops4k.fp_int_share(), 0.80) << model.name;
+        const auto ops1k = count_generation_ops(model, 1024);
+        EXPECT_GT(ops1k.fp_int_share(), 0.90) << model.name;
+        const auto ops16k = count_generation_ops(model, 16384);
+        EXPECT_LT(ops16k.fp_int_share(), ops1k.fp_int_share())
+            << model.name;
+        EXPECT_GT(ops16k.total(), ops4k.total());
+    }
+}
+
+/// Synthetic oracle: accuracy falls smoothly as bits shrink, weighted
+/// like the real module shares (qkv most sensitive).
+double
+oracle(const PrecisionTuple &t)
+{
+    const double weights[4] = {0.5, 0.2, 0.2, 0.1};
+    double loss = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        loss += weights[i] * 0.04 *
+                std::pow(2.0, 6.0 - t[static_cast<std::size_t>(i)]);
+    }
+    return 1.0 - loss;
+}
+
+TEST(Search, FindsFeasibleLowBopsTuple)
+{
+    SearchConfig cfg;
+    cfg.tolerance = 0.01;
+    cfg.max_iterations = 64;
+    const SearchResult res =
+        adaptive_precision_search(opt(), oracle, cfg);
+    ASSERT_TRUE(res.best.has_value());
+    EXPECT_GE(oracle(*res.best), 0.99);
+    // The oracle's loss at uniform [8,8,8,8] is exactly 1%: the best
+    // must cost no more BOPs than that.
+    EXPECT_LE(res.best_bops,
+              tuple_bops_per_token(opt(), {8, 8, 8, 8}) + 1e-6);
+    // qkv is most sensitive: it should keep the most bits.
+    EXPECT_GE((*res.best)[0], (*res.best)[3]);
+}
+
+TEST(Search, TraceIsBopsMonotoneUntilFirstAccept)
+{
+    SearchConfig cfg;
+    cfg.tolerance = 0.01;
+    cfg.max_iterations = 16;
+    const SearchResult res =
+        adaptive_precision_search(opt(), oracle, cfg);
+    // Uniform seeds pop cheapest-first: [4,4,4,4], [5,5,5,5], ...
+    ASSERT_GE(res.trace.size(), 3u);
+    EXPECT_EQ(res.trace[0].tuple, (PrecisionTuple{4, 4, 4, 4}));
+    EXPECT_LT(res.trace[0].bops, res.trace[1].bops);
+    // First accepted tuple becomes best_so_far.
+    for (const auto &step : res.trace) {
+        if (step.accepted) {
+            EXPECT_EQ(step.best_so_far, step.tuple);
+            break;
+        }
+    }
+}
+
+TEST(Search, RespectsIterationCap)
+{
+    SearchConfig cfg;
+    cfg.tolerance = 0.01;
+    cfg.max_iterations = 5;
+    const SearchResult res =
+        adaptive_precision_search(opt(), oracle, cfg);
+    EXPECT_EQ(res.iterations_used, 5);
+    EXPECT_EQ(res.trace.size(), 5u);
+}
+
+TEST(Search, InfeasibleToleranceReturnsNoBest)
+{
+    // An oracle that always fails the threshold.
+    const AccuracyEvaluator bad = [](const PrecisionTuple &) {
+        return 0.5;
+    };
+    SearchConfig cfg;
+    cfg.tolerance = 0.001;
+    cfg.max_iterations = 20;
+    const SearchResult res = adaptive_precision_search(opt(), bad, cfg);
+    EXPECT_FALSE(res.best.has_value());
+    // Only the 10 uniform seeds exist; no neighbors are generated.
+    EXPECT_EQ(res.trace.size(), 10u);
+}
+
+TEST(Search, NeverRevisitsCombinations)
+{
+    SearchConfig cfg;
+    cfg.tolerance = 0.05;
+    cfg.max_iterations = 64;
+    const SearchResult res =
+        adaptive_precision_search(opt(), oracle, cfg);
+    std::set<PrecisionTuple> seen;
+    for (const auto &step : res.trace) {
+        EXPECT_TRUE(seen.insert(step.tuple).second)
+            << to_string(step.tuple);
+    }
+}
+
+TEST(Search, TighterToleranceNeverCheaper)
+{
+    SearchConfig strict;
+    strict.tolerance = 0.001;
+    strict.max_iterations = 64;
+    SearchConfig loose = strict;
+    loose.tolerance = 0.05;
+    const auto r_strict =
+        adaptive_precision_search(opt(), oracle, strict);
+    const auto r_loose = adaptive_precision_search(opt(), oracle, loose);
+    ASSERT_TRUE(r_strict.best && r_loose.best);
+    EXPECT_GE(r_strict.best_bops, r_loose.best_bops);
+}
+
+class ToleranceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ToleranceSweep, BestAlwaysMeetsTolerance)
+{
+    SearchConfig cfg;
+    cfg.tolerance = GetParam();
+    cfg.max_iterations = 48;
+    const SearchResult res =
+        adaptive_precision_search(opt(), oracle, cfg);
+    if (res.best) {
+        EXPECT_GE(oracle(*res.best), 1.0 - cfg.tolerance);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweep,
+                         ::testing::Values(0.001, 0.002, 0.005, 0.01,
+                                           0.02, 0.05));
+
+}  // namespace
+}  // namespace anda
