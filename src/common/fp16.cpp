@@ -1,4 +1,4 @@
-#include "fp16.h"
+#include "common/fp16.h"
 
 #include <bit>
 #include <cstring>

@@ -1,4 +1,4 @@
-#include "matrix.h"
+#include "common/matrix.h"
 
 #include <cmath>
 

@@ -1,4 +1,4 @@
-#include "parallel.h"
+#include "common/parallel.h"
 
 #include <algorithm>
 #include <atomic>

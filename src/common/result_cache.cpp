@@ -1,4 +1,4 @@
-#include "result_cache.h"
+#include "common/result_cache.h"
 
 #include <cstdio>
 #include <fstream>

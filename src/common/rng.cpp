@@ -1,4 +1,4 @@
-#include "rng.h"
+#include "common/rng.h"
 
 namespace anda {
 

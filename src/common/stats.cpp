@@ -1,4 +1,4 @@
-#include "stats.h"
+#include "common/stats.h"
 
 namespace anda {
 

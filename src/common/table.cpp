@@ -1,4 +1,4 @@
-#include "table.h"
+#include "common/table.h"
 
 #include <algorithm>
 #include <cstdio>

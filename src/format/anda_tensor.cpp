@@ -1,4 +1,4 @@
-#include "anda_tensor.h"
+#include "format/anda_tensor.h"
 
 #include <algorithm>
 #include <cassert>

@@ -1,4 +1,4 @@
-#include "bfp.h"
+#include "format/bfp.h"
 
 #include <algorithm>
 #include <cassert>

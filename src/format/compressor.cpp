@@ -1,4 +1,4 @@
-#include "compressor.h"
+#include "format/compressor.h"
 
 #include <algorithm>
 #include <cassert>

@@ -1,4 +1,4 @@
-#include "format_registry.h"
+#include "format/format_registry.h"
 
 namespace anda {
 

@@ -1,4 +1,4 @@
-#include "accelerator.h"
+#include "hw/accelerator.h"
 
 #include <stdexcept>
 

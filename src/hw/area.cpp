@@ -1,4 +1,4 @@
-#include "area.h"
+#include "hw/area.h"
 
 #include "hw/perf_model.h"
 #include "hw/workload.h"

@@ -1,4 +1,4 @@
-#include "cycle_sim.h"
+#include "hw/cycle_sim.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,4 +1,4 @@
-#include "gates.h"
+#include "hw/gates.h"
 
 #include <cmath>
 

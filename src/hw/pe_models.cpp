@@ -1,4 +1,4 @@
-#include "pe_models.h"
+#include "hw/pe_models.h"
 
 #include <stdexcept>
 

@@ -1,4 +1,4 @@
-#include "perf_model.h"
+#include "hw/perf_model.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,4 +1,4 @@
-#include "tech.h"
+#include "hw/tech.h"
 
 namespace anda {
 

@@ -1,4 +1,4 @@
-#include "workload.h"
+#include "hw/workload.h"
 
 namespace anda {
 

@@ -1,4 +1,4 @@
-#include "gemm.h"
+#include "kernels/gemm.h"
 
 #include <algorithm>
 #include <cassert>

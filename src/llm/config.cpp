@@ -1,4 +1,4 @@
-#include "config.h"
+#include "llm/config.h"
 
 #include <stdexcept>
 

@@ -1,4 +1,4 @@
-#include "corpus.h"
+#include "llm/corpus.h"
 
 #include <atomic>
 #include <cmath>

@@ -1,4 +1,4 @@
-#include "opcount.h"
+#include "llm/opcount.h"
 
 namespace anda {
 

@@ -1,4 +1,4 @@
-#include "ops.h"
+#include "llm/ops.h"
 
 #include <algorithm>
 #include <cassert>

@@ -1,4 +1,4 @@
-#include "transformer.h"
+#include "llm/transformer.h"
 
 #include <algorithm>
 #include <cassert>

@@ -1,4 +1,4 @@
-#include "weight_quant.h"
+#include "quant/weight_quant.h"
 
 #include <algorithm>
 #include <cassert>

@@ -1,4 +1,4 @@
-#include "bops.h"
+#include "search/bops.h"
 
 #include <sstream>
 

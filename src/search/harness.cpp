@@ -1,4 +1,4 @@
-#include "harness.h"
+#include "search/harness.h"
 
 #include <sstream>
 

@@ -1,4 +1,4 @@
-#include "precision_search.h"
+#include "search/precision_search.h"
 
 #include <set>
 
