@@ -89,6 +89,13 @@ BM_BpcCompressLane(benchmark::State &state)
 }
 BENCHMARK(BM_BpcCompressLane);
 
+// GeMM benchmarks come in a pinned single-threaded variant (the
+// machine-independent number used for before/after kernel comparisons)
+// and an explicit multithreaded variant (threads = 0, all cores, shows
+// the persistent-pool scaling). Timing a kernel that silently grabs
+// every core produces machine-dependent noise, so neither variant
+// leaves the thread count implicit.
+
 void
 BM_GemmFp16Dequant(benchmark::State &state)
 {
@@ -97,12 +104,27 @@ BM_GemmFp16Dequant(benchmark::State &state)
     const Matrix w = random_matrix(n, 512, 6);
     const auto q = QuantizedWeight::quantize(w, {128, 4, true});
     for (auto _ : state) {
-        Matrix c = gemm_fp16_dequant(a, q);
+        Matrix c = gemm_fp16_dequant(a, q, /*threads=*/1);
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * 32 * 512 * n);
 }
 BENCHMARK(BM_GemmFp16Dequant)->Arg(64)->Arg(256);
+
+void
+BM_GemmFp16DequantMT(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = random_matrix(32, 512, 5);
+    const Matrix w = random_matrix(n, 512, 6);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    for (auto _ : state) {
+        Matrix c = gemm_fp16_dequant(a, q, /*threads=*/0);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32 * 512 * n);
+}
+BENCHMARK(BM_GemmFp16DequantMT)->Arg(64)->Arg(256);
 
 void
 BM_GemmAndaBitExact(benchmark::State &state)
@@ -112,6 +134,7 @@ BM_GemmAndaBitExact(benchmark::State &state)
     const auto q = QuantizedWeight::quantize(w, {128, 4, true});
     AndaGemmOptions opts;
     opts.mantissa_bits = static_cast<int>(state.range(0));
+    opts.threads = 1;
     for (auto _ : state) {
         Matrix c = gemm_anda(a, q, opts);
         benchmark::DoNotOptimize(c.data());
@@ -119,6 +142,23 @@ BM_GemmAndaBitExact(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 8 * 256 * 64);
 }
 BENCHMARK(BM_GemmAndaBitExact)->Arg(4)->Arg(8)->Arg(13);
+
+void
+BM_GemmAndaBitExactMT(benchmark::State &state)
+{
+    const Matrix a = random_matrix(64, 256, 7);
+    const Matrix w = random_matrix(64, 256, 8);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    AndaGemmOptions opts;
+    opts.mantissa_bits = static_cast<int>(state.range(0));
+    opts.threads = 0;
+    for (auto _ : state) {
+        Matrix c = gemm_anda(a, q, opts);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 256 * 64);
+}
+BENCHMARK(BM_GemmAndaBitExactMT)->Arg(4)->Arg(8)->Arg(13);
 
 }  // namespace
 

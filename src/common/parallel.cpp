@@ -2,16 +2,182 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace anda {
+
+namespace {
+
+// Set on pool workers (permanently) and on a caller thread while it is
+// executing a parallel region; nested parallel calls run serially.
+thread_local bool tls_in_parallel = false;
+
+std::atomic<std::size_t> g_threads_created{0};
+
+// One blocking parallel region. Lives on the submitting thread's stack;
+// the pool guarantees no worker touches it after `active` drops to the
+// last-seen zero the submitter waits for.
+struct Job {
+    const std::function<void(std::size_t, std::size_t)> *fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 0;
+    std::size_t n_chunks = 0;
+    std::atomic<std::size_t> next{0};   // next chunk index to claim
+    std::atomic<int> active{0};         // workers currently inside run
+    int slots = 0;                      // pool workers still allowed in
+};
+
+class ThreadPool {
+  public:
+    static ThreadPool &instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    std::size_t worker_count() const { return threads_.size(); }
+
+    // Runs the job's chunks on up to job.slots pool workers plus the
+    // calling thread; returns once every chunk has been executed.
+    void run(Job &job)
+    {
+        // Serializes concurrent top-level regions; nested regions never
+        // reach here (tls_in_parallel short-circuits them).
+        std::lock_guard<std::mutex> submit(submit_mutex_);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            job_ = &job;
+            ++seq_;
+        }
+        cv_.notify_all();
+        // Workloads are noexcept by design (see parallel.h). A throw on
+        // a pool worker already terminates; terminate on the submitting
+        // thread too, instead of unwinding the stack-allocated Job out
+        // from under workers still executing its chunks.
+        try {
+            work(job);
+        } catch (...) {
+            std::terminate();
+        }
+        std::unique_lock<std::mutex> lk(mutex_);
+        done_cv_.wait(lk, [&] {
+            return job.next.load(std::memory_order_acquire) >=
+                       job.n_chunks &&
+                   job.active.load(std::memory_order_acquire) == 0;
+        });
+        job_ = nullptr;
+    }
+
+  private:
+    ThreadPool()
+    {
+        const std::size_t hw = default_thread_count();
+        // The caller participates, so hw - 1 workers saturate the
+        // machine; keep at least one so explicit thread requests still
+        // exercise the concurrent path on single-core hosts.
+        const std::size_t n = std::max<std::size_t>(1, hw - 1);
+        threads_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            threads_.emplace_back([this] { worker_loop(); });
+            g_threads_created.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &t : threads_) {
+            t.join();
+        }
+    }
+
+    static void work(Job &job)
+    {
+        for (;;) {
+            const std::size_t c =
+                job.next.fetch_add(1, std::memory_order_acq_rel);
+            if (c >= job.n_chunks) {
+                return;
+            }
+            const std::size_t lo = job.begin + c * job.chunk;
+            const std::size_t hi = std::min(job.end, lo + job.chunk);
+            (*job.fn)(lo, hi);
+        }
+    }
+
+    void worker_loop()
+    {
+        tls_in_parallel = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            Job *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lk(mutex_);
+                cv_.wait(lk, [&] {
+                    return stop_ || (job_ != nullptr && seq_ != seen);
+                });
+                if (stop_) {
+                    return;
+                }
+                seen = seq_;
+                if (job_->slots <= 0) {
+                    continue;  // concurrency cap reached for this job
+                }
+                --job_->slots;
+                job = job_;
+                // Registered under the mutex: the submitter cannot
+                // observe completion and destroy the job before this
+                // worker's participation is visible.
+                job->active.fetch_add(1, std::memory_order_acq_rel);
+            }
+            work(*job);
+            job->active.fetch_sub(1, std::memory_order_acq_rel);
+            {
+                std::lock_guard<std::mutex> lk(mutex_);
+            }
+            done_cv_.notify_all();
+        }
+    }
+
+    std::mutex submit_mutex_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    Job *job_ = nullptr;
+    std::uint64_t seq_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace
 
 std::size_t
 default_thread_count()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+parallel_pool_size()
+{
+    return ThreadPool::instance().worker_count();
+}
+
+std::size_t
+parallel_threads_created()
+{
+    return g_threads_created.load(std::memory_order_relaxed);
 }
 
 void
@@ -26,24 +192,29 @@ parallel_for_chunked(std::size_t begin, std::size_t end,
     std::size_t workers = max_threads == 0 ? default_thread_count()
                                            : max_threads;
     workers = std::min(workers, n);
+    if (workers <= 1 || tls_in_parallel) {
+        fn(begin, end);
+        return;
+    }
+    ThreadPool &pool = ThreadPool::instance();
+    workers = std::min(workers, pool.worker_count() + 1);
     if (workers <= 1) {
         fn(begin, end);
         return;
     }
-    const std::size_t chunk = (n + workers - 1) / workers;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        const std::size_t lo = begin + w * chunk;
-        const std::size_t hi = std::min(end, lo + chunk);
-        if (lo >= hi) {
-            break;
-        }
-        pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
-    }
-    for (auto &t : pool) {
-        t.join();
-    }
+    // Over-decompose a little so dynamic chunk claiming load-balances
+    // uneven per-index cost without per-index dispatch.
+    const std::size_t target_chunks = std::min(n, workers * 4);
+    Job job;
+    job.fn = &fn;
+    job.begin = begin;
+    job.end = end;
+    job.chunk = (n + target_chunks - 1) / target_chunks;
+    job.n_chunks = (n + job.chunk - 1) / job.chunk;
+    job.slots = static_cast<int>(workers - 1);
+    tls_in_parallel = true;
+    pool.run(job);
+    tls_in_parallel = false;
 }
 
 void

@@ -1,27 +1,43 @@
 #pragma once
 
 /// @file
-/// Simple blocking parallel-for over an index range.
+/// Blocking parallel-for over an index range, backed by a persistent
+/// thread pool.
 ///
 /// Accuracy experiments evaluate many independent sequences per forward
 /// pass; parallelizing over sequences (and over output rows inside large
-/// GeMMs) keeps the full Table II sweep on a laptop budget.
+/// GeMMs) keeps the full Table II sweep on a laptop budget. The pool is
+/// created lazily on first use and reused by every subsequent call, so
+/// hot loops never pay per-call std::thread construction.
+///
+/// Threading ownership convention: exactly one level of the stack owns
+/// parallelism. Sequence-level drivers (e.g. `perplexity` in
+/// src/llm/corpus.cpp) parallelize across sequences and pass
+/// `threads = 1` down to the kernels; kernel-level callers that own the
+/// whole machine pass `threads = 0` (all cores). A parallel_for issued
+/// from inside a worker of another parallel_for runs serially inline,
+/// so accidental nesting degrades gracefully instead of deadlocking or
+/// oversubscribing.
 
 #include <cstddef>
 #include <functional>
 
 namespace anda {
 
-/// Runs fn(i) for i in [begin, end) across up to max_threads workers.
+/// Runs fn(i) for i in [begin, end) across up to max_threads workers
+/// (0 = all cores). Blocks until every index has been processed.
 ///
-/// Falls back to serial execution for tiny ranges. Exceptions thrown by
-/// fn terminate the process (workloads here are noexcept by design).
+/// Falls back to serial execution for tiny ranges and for calls nested
+/// inside another parallel_for. Exceptions thrown by fn terminate the
+/// process (workloads here are noexcept by design).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)> &fn,
                   std::size_t max_threads = 0);
 
 /// Like parallel_for but hands each worker a contiguous [lo, hi) chunk,
-/// which avoids per-index dispatch overhead in hot loops.
+/// which avoids per-index dispatch overhead in hot loops. Chunks are
+/// claimed dynamically from a shared queue, so uneven per-index cost
+/// still load-balances.
 void parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)> &fn,
@@ -29,5 +45,15 @@ void parallel_for_chunked(
 
 /// Number of worker threads parallel_for will use by default.
 std::size_t default_thread_count();
+
+/// Number of persistent worker threads in the shared pool (the calling
+/// thread participates too, so peak concurrency is this value + 1).
+/// Forces lazy pool creation.
+std::size_t parallel_pool_size();
+
+/// Total std::threads the pool has ever constructed. Stays constant
+/// after the first parallel call — exposed so tests can assert that the
+/// steady state spawns no threads.
+std::size_t parallel_threads_created();
 
 }  // namespace anda

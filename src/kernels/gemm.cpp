@@ -1,14 +1,30 @@
 #include "kernels/gemm.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "common/fp16.h"
 #include "common/parallel.h"
 
 namespace anda {
+
+namespace {
+
+void
+check_gemm_shapes(std::size_t a_cols, std::size_t w_cols, const char *kernel)
+{
+    if (a_cols != w_cols) {
+        throw std::invalid_argument(
+            std::string(kernel) +
+            ": activation columns (" + std::to_string(a_cols) +
+            ") must equal weight columns (" + std::to_string(w_cols) +
+            ")");
+    }
+}
+
+}  // namespace
 
 float
 dot_f32(const float *a, const float *b, std::size_t n)
@@ -33,7 +49,7 @@ dot_f32(const float *a, const float *b, std::size_t n)
 Matrix
 matmul_wt(const Matrix &a, const Matrix &w, std::size_t threads)
 {
-    assert(a.cols() == w.cols());
+    check_gemm_shapes(a.cols(), w.cols(), "matmul_wt");
     Matrix c(a.rows(), w.rows());
     const std::size_t k = a.cols();
     parallel_for_chunked(
@@ -54,7 +70,7 @@ matmul_wt(const Matrix &a, const Matrix &w, std::size_t threads)
 Matrix
 gemm_ref(const Matrix &a, const Matrix &w)
 {
-    assert(a.cols() == w.cols());
+    check_gemm_shapes(a.cols(), w.cols(), "gemm_ref");
     Matrix c(a.rows(), w.rows());
     for (std::size_t t = 0; t < a.rows(); ++t) {
         for (std::size_t n = 0; n < w.rows(); ++n) {
@@ -101,35 +117,40 @@ apply_act_format(Matrix &a, const ActFormat &fmt, std::size_t threads)
 }
 
 Matrix
-gemm_fp16_dequant(const Matrix &a, const QuantizedWeight &w)
+gemm_fp16_dequant(const Matrix &a, const QuantizedWeight &w,
+                  std::size_t threads)
 {
-    assert(a.cols() == w.cols());
+    check_gemm_shapes(a.cols(), w.cols(), "gemm_fp16_dequant");
     Matrix a16 = a;
-    apply_act_format(a16, ActFormat::fp16());
+    apply_act_format(a16, ActFormat::fp16(), threads);
     // Dequantized INT4 weights are exact in FP16 (scale is FP16 and the
     // product q*scale has at most 14 significant bits), so a float
     // matmul of the dequantized matrix models the tensor-core path.
     const Matrix wd = w.dequantize();
-    return matmul_wt(a16, wd);
+    return matmul_wt(a16, wd, threads);
 }
 
 Matrix
 gemm_bfp_fakequant(const Matrix &a, const QuantizedWeight &w,
-                   const BfpParams &params)
+                   const BfpParams &params, std::size_t threads)
 {
-    assert(a.cols() == w.cols());
+    check_gemm_shapes(a.cols(), w.cols(), "gemm_bfp_fakequant");
     Matrix ab = a;
     apply_act_format(ab, ActFormat::bfp(params.group_size,
-                                        params.mantissa_bits));
+                                        params.mantissa_bits),
+                     threads);
     const Matrix wd = w.dequantize();
-    return matmul_wt(ab, wd);
+    return matmul_wt(ab, wd, threads);
 }
 
 std::int64_t
 anda_group_dot(const AndaGroup &g, int mantissa_bits,
                std::span<const std::int8_t> w)
 {
-    assert(w.size() == static_cast<std::size_t>(kAndaGroupSize));
+    if (w.size() != static_cast<std::size_t>(kAndaGroupSize)) {
+        throw std::invalid_argument(
+            "anda_group_dot: weight span must hold exactly one group");
+    }
     // Effective signed weights: the sign plane flips the weight feeding
     // the adder tree, so bit-plane partial sums are plain sums.
     std::int32_t signed_w[kAndaGroupSize];
@@ -155,51 +176,129 @@ anda_group_dot(const AndaGroup &g, int mantissa_bits,
     return acc;
 }
 
+namespace {
+
+// Reassembles one group's signed integer mantissas from the bit-plane
+// layout: out[i] = sign_i * mantissa_i. One branch-free pass per plane,
+// done once per (token, group) instead of once per (token, row, group).
+void
+anda_signed_mantissas(const AndaGroup &g, int mantissa_bits,
+                      std::int32_t out[kAndaGroupSize])
+{
+    for (int i = 0; i < kAndaGroupSize; ++i) {
+        out[i] = 0;
+    }
+    for (int p = 0; p < mantissa_bits; ++p) {
+        const std::uint64_t plane = g.mant_planes[p];
+        for (int i = 0; i < kAndaGroupSize; ++i) {
+            out[i] = (out[i] << 1) |
+                     static_cast<std::int32_t>((plane >> i) & 1u);
+        }
+    }
+    for (int i = 0; i < kAndaGroupSize; ++i) {
+        const std::int32_t neg =
+            -static_cast<std::int32_t>((g.sign_plane >> i) & 1u);
+        out[i] = (out[i] ^ neg) - neg;
+    }
+}
+
+// Integer dot of one group's signed mantissas against its weights.
+// No overflow: |sm| < 2^16, |w| <= 127, 64 terms < 2^31.
+std::int64_t
+anda_int_dot(const std::int32_t *sm, const std::int8_t *w)
+{
+    std::int32_t acc = 0;
+    for (int i = 0; i < kAndaGroupSize; ++i) {
+        acc += sm[i] * static_cast<std::int32_t>(w[i]);
+    }
+    return static_cast<std::int64_t>(acc);
+}
+
+}  // namespace
+
 Matrix
 gemm_anda(const Matrix &a, const QuantizedWeight &w,
           const AndaGemmOptions &opts)
 {
-    assert(a.cols() == w.cols());
+    check_gemm_shapes(a.cols(), w.cols(), "gemm_anda");
     if (w.group_size() % kAndaGroupSize != 0) {
         throw std::invalid_argument(
             "weight scale group size must be a multiple of the Anda "
             "group size (64)");
     }
     const std::size_t k = a.cols();
+    const std::size_t n_rows = w.rows();
     const std::size_t n_groups = (k + kAndaGroupSize - 1) / kAndaGroupSize;
-    Matrix c(a.rows(), w.rows());
+    const std::size_t k_pad = n_groups * kAndaGroupSize;
+    const std::size_t anda_groups_per_scale =
+        static_cast<std::size_t>(w.group_size()) / kAndaGroupSize;
 
-    parallel_for_chunked(0, a.rows(), [&](std::size_t lo, std::size_t hi) {
-        std::vector<std::int8_t> wbuf(kAndaGroupSize);
-        for (std::size_t t = lo; t < hi; ++t) {
-            const AndaTensor act =
-                AndaTensor::encode(a.row(t), opts.mantissa_bits);
-            for (std::size_t n = 0; n < w.rows(); ++n) {
-                const auto wrow = w.row(n);
-                float acc = 0.0f;
-                for (std::size_t g = 0; g < n_groups; ++g) {
-                    const std::size_t base = g * kAndaGroupSize;
-                    const std::size_t len =
-                        std::min<std::size_t>(kAndaGroupSize, k - base);
-                    std::fill(wbuf.begin(), wbuf.end(), std::int8_t{0});
-                    std::copy_n(wrow.data() + base, len, wbuf.begin());
-                    const std::int64_t idot = anda_group_dot(
-                        act.group(g), opts.mantissa_bits, wbuf);
-                    float gval =
-                        static_cast<float>(idot) *
-                        bfp_group_scale(act.group(g).shared_exponent,
-                                        opts.mantissa_bits);
-                    if (opts.fp16_group_rounding) {
-                        gval = fp16_round(gval);
-                    }
-                    acc += gval * w.group_scale(n, base / static_cast<
-                                                       std::size_t>(
-                                                       w.group_size()));
-                }
-                c(t, n) = opts.fp16_output ? fp16_round(acc) : acc;
-            }
+    // Hoisted out of the token loop: a trailing partial group needs
+    // zero-padded weights (zeros are exact in BFP, so padding matches
+    // the bit-serial reference); full rows are used in place.
+    const bool needs_pad = k != k_pad;
+    std::vector<std::int8_t> wpad;
+    if (needs_pad) {
+        wpad.assign(n_rows * k_pad, std::int8_t{0});
+        for (std::size_t n = 0; n < n_rows; ++n) {
+            const auto wrow = w.row(n);
+            std::copy_n(wrow.data(), k, wpad.data() + n * k_pad);
         }
-    });
+    }
+
+    Matrix c(a.rows(), n_rows);
+
+    // Tile over token rows so each weight row streams through the cache
+    // once per tile instead of once per token.
+    constexpr std::size_t kTokenTile = 8;
+
+    parallel_for_chunked(
+        0, a.rows(),
+        [&](std::size_t lo, std::size_t hi) {
+            std::vector<std::int32_t> sm(kTokenTile * k_pad);
+            std::vector<float> gscale(kTokenTile * n_groups);
+            for (std::size_t t0 = lo; t0 < hi; t0 += kTokenTile) {
+                const std::size_t tn = std::min(kTokenTile, hi - t0);
+                // Decode each group's signed mantissas once per token.
+                for (std::size_t ti = 0; ti < tn; ++ti) {
+                    const AndaTensor act = AndaTensor::encode(
+                        a.row(t0 + ti), opts.mantissa_bits);
+                    for (std::size_t g = 0; g < n_groups; ++g) {
+                        anda_signed_mantissas(
+                            act.group(g), opts.mantissa_bits,
+                            &sm[ti * k_pad + g * kAndaGroupSize]);
+                        gscale[ti * n_groups + g] = bfp_group_scale(
+                            act.group(g).shared_exponent,
+                            opts.mantissa_bits);
+                    }
+                }
+                for (std::size_t n = 0; n < n_rows; ++n) {
+                    const std::int8_t *wrow =
+                        needs_pad ? wpad.data() + n * k_pad
+                                  : w.row(n).data();
+                    for (std::size_t ti = 0; ti < tn; ++ti) {
+                        const std::int32_t *smrow = &sm[ti * k_pad];
+                        float acc = 0.0f;
+                        for (std::size_t g = 0; g < n_groups; ++g) {
+                            const std::int64_t idot = anda_int_dot(
+                                smrow + g * kAndaGroupSize,
+                                wrow + g * kAndaGroupSize);
+                            float gval = static_cast<float>(idot) *
+                                         gscale[ti * n_groups + g];
+                            if (opts.fp16_group_rounding) {
+                                gval = fp16_round(gval);
+                            }
+                            acc += gval *
+                                   w.group_scale(
+                                       n, g / anda_groups_per_scale);
+                        }
+                        c(t0 + ti, n) =
+                            opts.fp16_output ? fp16_round(acc) : acc;
+                    }
+                }
+            }
+        },
+        opts.threads);
     return c;
 }
 

@@ -9,6 +9,16 @@
 ///
 /// Convention: activations A are [tokens x K] row-major; weights W are
 /// [N x K] (one output channel per row); outputs are [tokens x N].
+///
+/// Shape preconditions (a.cols() == w.cols()) are enforced with
+/// std::invalid_argument in every build type, not assert, so Release
+/// builds fail loudly instead of reading out of bounds.
+///
+/// Threading: every kernel takes a thread count where 0 means all
+/// cores and 1 means serial. Callers that already parallelize at a
+/// coarser grain (e.g. across sequences) pass 1 so inner kernels do not
+/// oversubscribe — see src/common/parallel.h for the ownership
+/// convention.
 
 #include <span>
 
@@ -60,14 +70,16 @@ void apply_act_format(Matrix &a, const ActFormat &fmt,
 
 /// FP-FP GPU scheme (Fig. 8a): INT4 weights dequantized to FP16, FP16
 /// activations, FP32 accumulation.
-Matrix gemm_fp16_dequant(const Matrix &a, const QuantizedWeight &w);
+Matrix gemm_fp16_dequant(const Matrix &a, const QuantizedWeight &w,
+                         std::size_t threads = 0);
 
 /// Fake-quantized BFP GeMM used by accuracy experiments: activations are
 /// converted through the BFP format, then multiplied against dequantized
 /// weights in float32. Numerically equivalent to the grouped integer
 /// datapath with exact scaling.
 Matrix gemm_bfp_fakequant(const Matrix &a, const QuantizedWeight &w,
-                          const BfpParams &params);
+                          const BfpParams &params,
+                          std::size_t threads = 0);
 
 /// Options of the bit-exact Anda GeMM.
 struct AndaGemmOptions {
@@ -79,20 +91,32 @@ struct AndaGemmOptions {
     bool fp16_group_rounding = false;
     /// If true, round the final accumulator to FP16 on output.
     bool fp16_output = true;
+    /// Worker threads for the token-row loop: 0 = all cores, 1 = serial.
+    /// Sequence-level callers pass 1, matching matmul_wt's convention.
+    std::size_t threads = 0;
 };
 
 /// Hardware-faithful Anda GeMM: each token row of A is encoded as an
-/// AndaTensor along K; group dot products are computed bit-plane by
-/// bit-plane (partial sums shifted and accumulated exactly as the APU's
-/// first-element-then-bit-plane reduction), scaled by the shared
-/// exponent and the weight group scale, and FP32-accumulated across
+/// AndaTensor along K; group dot products are scaled by the shared
+/// exponent and the weight group scale and FP32-accumulated across
 /// groups. Requires the weight scale group size to be a multiple of 64.
+///
+/// The software implementation reassembles each group's signed integer
+/// mantissas from the bit-planes once per (token, group) and computes
+/// the group dot as a plain integer dot product, tiled over token and
+/// output rows for cache reuse. This is bit-identical to the APU's
+/// first-element-then-bit-plane reduction (`anda_group_dot`, which
+/// remains the hardware-reference oracle): both are exact integer
+/// computations of sum_i sign_i * mantissa_i * w_i, and the float
+/// scaling/accumulation sequence is unchanged.
 Matrix gemm_anda(const Matrix &a, const QuantizedWeight &w,
                  const AndaGemmOptions &opts);
 
 /// Integer dot product of one Anda group against 64 INT weights via the
 /// bit-serial reduction (exposed for unit tests and the APU model).
-/// Returns sum_i sign_i * mantissa_i * w_i.
+/// Returns sum_i sign_i * mantissa_i * w_i. This is the
+/// hardware-faithful reference; gemm_anda's fast path must stay
+/// bit-identical to it (enforced by tests/test_gemm.cpp).
 std::int64_t anda_group_dot(const AndaGroup &g, int mantissa_bits,
                             std::span<const std::int8_t> w);
 

@@ -73,8 +73,11 @@ perplexity(const Transformer &model, const Corpus &corpus,
         throw std::invalid_argument("empty corpus");
     }
     std::vector<double> nll(corpus.sequences.size(), 0.0);
+    // Parallelism lives at the sequence level here, so inner kernels
+    // must run serially (threads = 1) — see the ownership convention
+    // in src/common/parallel.h.
     RunOptions inner = opts;
-    inner.threads = 1;  // Parallelism lives at the sequence level.
+    inner.threads = 1;
     parallel_for(0, corpus.sequences.size(), [&](std::size_t i) {
         nll[i] = model.sequence_nll(corpus.sequences[i], inner);
     });

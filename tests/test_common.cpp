@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
+#include <set>
+#include <thread>
 
 #include "common/matrix.h"
 #include "common/parallel.h"
@@ -117,6 +121,64 @@ TEST(Parallel, ChunkedPartitionIsDisjoint)
     for (auto &h : hits) {
         EXPECT_EQ(h.load(), 1);
     }
+}
+
+TEST(Parallel, PoolReusesThreadsAcrossCalls)
+{
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    const auto collect = [&] {
+        parallel_for_chunked(
+            0, 64,
+            [&](std::size_t, std::size_t) {
+                std::lock_guard<std::mutex> lk(mu);
+                ids.insert(std::this_thread::get_id());
+            },
+            4);
+    };
+    collect();  // Forces lazy pool creation.
+    const std::size_t created = parallel_threads_created();
+    EXPECT_EQ(created, parallel_pool_size());
+    for (int i = 0; i < 20; ++i) {
+        collect();
+    }
+    // Steady state: no new std::thread construction, and every observed
+    // thread ID comes from the stable set {pool workers, caller}.
+    EXPECT_EQ(parallel_threads_created(), created);
+    EXPECT_LE(ids.size(), parallel_pool_size() + 1);
+}
+
+TEST(Parallel, NestedParallelForRunsSerialWithoutDeadlock)
+{
+    std::vector<std::atomic<int>> hits(64 * 16);
+    parallel_for(0, 64, [&](std::size_t outer) {
+        parallel_for(0, 16, [&](std::size_t inner) {
+            hits[outer * 16 + inner].fetch_add(1);
+        });
+    }, 4);
+    for (auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(Parallel, ExplicitThreadCapIsRespectedByChunking)
+{
+    // With max_threads = 2, at most 2 chunks may run concurrently.
+    std::atomic<int> live{0};
+    std::atomic<int> peak{0};
+    parallel_for_chunked(
+        0, 64,
+        [&](std::size_t, std::size_t) {
+            const int now = live.fetch_add(1) + 1;
+            int p = peak.load();
+            while (now > p && !peak.compare_exchange_weak(p, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            live.fetch_sub(1);
+        },
+        2);
+    EXPECT_LE(peak.load(), 2);
+    EXPECT_GE(peak.load(), 1);
 }
 
 TEST(Table, RendersAlignedAndCsv)

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "kernels/gemm.h"
@@ -128,6 +131,160 @@ TEST(Gemm, AndaFp16GroupRoundingStaysClose)
             max_rel, std::abs(double(e.flat()[i]) - r.flat()[i]) / denom);
     }
     EXPECT_LT(max_rel, 0.01);
+}
+
+// Reference gemm_anda built directly on the bit-serial anda_group_dot
+// oracle, replicating the exact float scaling/accumulation sequence of
+// the production kernel. The fast path must match it bit for bit.
+Matrix
+gemm_anda_bit_serial(const Matrix &a, const QuantizedWeight &q,
+                     const AndaGemmOptions &opts)
+{
+    const std::size_t k = a.cols();
+    const std::size_t n_groups =
+        (k + kAndaGroupSize - 1) / kAndaGroupSize;
+    Matrix c(a.rows(), q.rows());
+    std::vector<std::int8_t> wbuf(kAndaGroupSize);
+    for (std::size_t t = 0; t < a.rows(); ++t) {
+        const AndaTensor act =
+            AndaTensor::encode(a.row(t), opts.mantissa_bits);
+        for (std::size_t n = 0; n < q.rows(); ++n) {
+            const auto wrow = q.row(n);
+            float acc = 0.0f;
+            for (std::size_t g = 0; g < n_groups; ++g) {
+                const std::size_t base = g * kAndaGroupSize;
+                const std::size_t len =
+                    std::min<std::size_t>(kAndaGroupSize, k - base);
+                std::fill(wbuf.begin(), wbuf.end(), std::int8_t{0});
+                std::copy_n(wrow.data() + base, len, wbuf.begin());
+                const std::int64_t idot = anda_group_dot(
+                    act.group(g), opts.mantissa_bits, wbuf);
+                float gval =
+                    static_cast<float>(idot) *
+                    bfp_group_scale(act.group(g).shared_exponent,
+                                    opts.mantissa_bits);
+                if (opts.fp16_group_rounding) {
+                    gval = fp16_round(gval);
+                }
+                acc += gval *
+                       q.group_scale(
+                           n, base / static_cast<std::size_t>(
+                                         q.group_size()));
+            }
+            c(t, n) = opts.fp16_output ? fp16_round(acc) : acc;
+        }
+    }
+    return c;
+}
+
+void
+expect_bit_identical(const Matrix &fast, const Matrix &ref,
+                     const std::string &label)
+{
+    ASSERT_EQ(fast.rows(), ref.rows());
+    ASSERT_EQ(fast.cols(), ref.cols());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        // EXPECT_EQ on floats: bit-identical (both paths produce the
+        // same finite values, so -0.0/NaN corner cases do not apply).
+        ASSERT_EQ(fast.flat()[i], ref.flat()[i])
+            << label << " flat index " << i;
+    }
+}
+
+TEST(Gemm, AndaFastPathBitExactVsBitSerialOracleAllMantissas)
+{
+    const Matrix a = random_matrix(5, 256, 20, 1.0, 0.05);
+    const Matrix w = random_matrix(9, 256, 21, 0.06);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    for (int m = 1; m <= 16; ++m) {
+        for (bool round_groups : {false, true}) {
+            AndaGemmOptions opts;
+            opts.mantissa_bits = m;
+            opts.fp16_group_rounding = round_groups;
+            opts.fp16_output = false;
+            opts.threads = 1;
+            expect_bit_identical(
+                gemm_anda(a, q, opts), gemm_anda_bit_serial(a, q, opts),
+                "m=" + std::to_string(m) +
+                    " round=" + std::to_string(round_groups));
+        }
+    }
+}
+
+TEST(Gemm, AndaFastPathBitExactOnTrailingPartialGroup)
+{
+    // k = 100 leaves a 36-element trailing partial group; the weight
+    // scale group (64) still divides the Anda group size.
+    const Matrix a = random_matrix(7, 100, 22, 1.0, 0.05);
+    const Matrix w = random_matrix(6, 100, 23, 0.07);
+    const auto q = QuantizedWeight::quantize(w, {64, 4, true});
+    for (int m : {1, 3, 8, 13, 16}) {
+        AndaGemmOptions opts;
+        opts.mantissa_bits = m;
+        opts.fp16_output = true;
+        opts.threads = 1;
+        expect_bit_identical(gemm_anda(a, q, opts),
+                             gemm_anda_bit_serial(a, q, opts),
+                             "partial m=" + std::to_string(m));
+    }
+}
+
+TEST(Gemm, AndaFastPathBitExactOnSubnormalInputs)
+{
+    Matrix a = random_matrix(4, 128, 24);
+    for (float &v : a.flat()) {
+        v *= 1e-41f;  // Well inside the FP32 subnormal range.
+    }
+    a(1, 5) = 0.0f;
+    a(2, 0) = -0.0f;
+    const Matrix w = random_matrix(5, 128, 25, 0.07);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    for (int m : {1, 4, 8, 16}) {
+        for (bool round_groups : {false, true}) {
+            AndaGemmOptions opts;
+            opts.mantissa_bits = m;
+            opts.fp16_group_rounding = round_groups;
+            opts.fp16_output = false;
+            opts.threads = 1;
+            expect_bit_identical(
+                gemm_anda(a, q, opts), gemm_anda_bit_serial(a, q, opts),
+                "subnormal m=" + std::to_string(m));
+        }
+    }
+}
+
+TEST(Gemm, AndaThreadsKnobPreservesResults)
+{
+    const Matrix a = random_matrix(19, 192, 26, 1.0, 0.05);
+    const Matrix w = random_matrix(11, 192, 27, 0.06);
+    const auto q = QuantizedWeight::quantize(w, {192, 4, true});
+    AndaGemmOptions serial;
+    serial.threads = 1;
+    const Matrix ref = gemm_anda(a, q, serial);
+    for (std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                std::size_t{5}}) {
+        AndaGemmOptions opts;
+        opts.threads = threads;
+        const Matrix out = gemm_anda(a, q, opts);
+        expect_bit_identical(out, ref,
+                             "threads=" + std::to_string(threads));
+    }
+}
+
+TEST(Gemm, ShapeMismatchThrowsInsteadOfReadingOutOfBounds)
+{
+    // Death-free negative test: mismatched reduction dimensions must
+    // throw in every build type (the old assert vanished in Release).
+    const Matrix a = random_matrix(2, 64, 28);
+    const Matrix w = random_matrix(3, 128, 29);
+    const auto q = QuantizedWeight::quantize(w, {128, 4, true});
+    EXPECT_THROW(matmul_wt(a, w), std::invalid_argument);
+    EXPECT_THROW(gemm_ref(a, w), std::invalid_argument);
+    EXPECT_THROW(gemm_fp16_dequant(a, q), std::invalid_argument);
+    EXPECT_THROW(gemm_bfp_fakequant(a, q, {kAndaGroupSize, 8}),
+                 std::invalid_argument);
+    AndaGemmOptions opts;
+    EXPECT_THROW(gemm_anda(a, q, opts), std::invalid_argument);
 }
 
 TEST(Gemm, AndaRejectsMisalignedWeightGroups)
