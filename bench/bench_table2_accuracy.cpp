@@ -1,12 +1,23 @@
 // Table II: perplexity, accuracy drop (vs the Omniquant-style W4A16
 // baseline) and BOPs saving of each computation method on all nine
 // models and all three datasets.
+//
+// The 27 (model, dataset) cells are independent, so they run as jobs
+// on the parallel sweep scheduler: models are constructed once and
+// shared across datasets through the global ModelRegistry, results are
+// memoized in the shared on-disk cache, and the scheduler prints
+// wall-clock / cache statistics at the end. Set ANDA_SWEEP_THREADS=1
+// to reproduce the serial (pre-scheduler) schedule, or =N to cap the
+// job-level workers.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/result_cache.h"
 #include "common/table.h"
-#include "search/harness.h"
+#include "search/sweep.h"
 
 namespace {
 
@@ -17,6 +28,34 @@ cell(double ppl, double loss, double saving)
            ", " + anda::fmt_x(saving, 2) + ")";
 }
 
+struct Cell {
+    double fp16 = 0.0;
+    double base = 0.0;
+    double figna = 0.0;
+    double vsq = 0.0;
+    std::string anda01 = "n/a";
+    std::string anda1 = "n/a";
+};
+
+std::size_t
+sweep_threads_from_env()
+{
+    const char *env = std::getenv("ANDA_SWEEP_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return 0;  // All cores.
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        std::fprintf(stderr,
+                     "warning: ignoring unparseable "
+                     "ANDA_SWEEP_THREADS=\"%s\" (using all cores)\n",
+                     env);
+        return 0;
+    }
+    return static_cast<std::size_t>(v);
+}
+
 }  // namespace
 
 int
@@ -24,43 +63,64 @@ main()
 {
     using namespace anda;
     ResultCache cache(default_cache_path());
+    SweepOptions opts;
+    opts.threads = sweep_threads_from_env();
+    SweepScheduler sweep(&cache, &ModelRegistry::global(), opts);
 
-    for (const auto &dataset : standard_datasets()) {
+    const auto &datasets = standard_datasets();
+    const auto &zoo = model_zoo();
+    std::vector<std::vector<Cell>> cells(
+        datasets.size(), std::vector<Cell>(zoo.size()));
+
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+        for (std::size_t m = 0; m < zoo.size(); ++m) {
+            Cell *out = &cells[d][m];
+            const ModelConfig *model = &zoo[m];
+            sweep.add(zoo[m], datasets[d], "table2-cell",
+                      [out, model](SearchHarness &h) {
+                          out->fp16 = h.fp16_ppl();
+                          out->base =
+                              h.baseline_ppl(Split::kValidation);
+                          out->figna = h.uniform_bfp_ppl(
+                              Split::kValidation, 64, 14);
+                          out->vsq = h.uniform_bfp_ppl(
+                              Split::kValidation, 64, 4);
+                          for (double delta : {0.001, 0.01}) {
+                              const SearchResult res =
+                                  h.search(delta, 32);
+                              if (!res.best) {
+                                  continue;
+                              }
+                              const double ppl = h.tuple_ppl(
+                                  Split::kValidation, *res.best);
+                              const std::string c = cell(
+                                  ppl, accuracy_loss(ppl, out->base),
+                                  bops_saving_vs_fp16(*model,
+                                                      *res.best));
+                              (delta < 0.005 ? out->anda01
+                                             : out->anda1) = c;
+                          }
+                      });
+        }
+    }
+
+    const SweepReport report = sweep.run();
+
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
         Table table({"model", "FP16", "Omniquant-W4", "FIGNA",
                      "VS-Quant*", "Anda (0.1%)", "Anda (1%)"});
         table.set_title(
-            "Table II [" + dataset.name +
+            "Table II [" + datasets[d].name +
             "]: PPL (accuracy drop vs W4 baseline, BOPs saving)");
-        for (const auto &model : model_zoo()) {
-            SearchHarness h(model, dataset, &cache);
-            const double fp16 = h.fp16_ppl();
-            const double base = h.baseline_ppl(Split::kValidation);
-            const double figna =
-                h.uniform_bfp_ppl(Split::kValidation, 64, 14);
-            const double vsq =
-                h.uniform_bfp_ppl(Split::kValidation, 64, 4);
-
-            std::string anda01 = "n/a";
-            std::string anda1 = "n/a";
-            for (double delta : {0.001, 0.01}) {
-                const SearchResult res = h.search(delta, 32);
-                if (!res.best) {
-                    continue;
-                }
-                const double ppl =
-                    h.tuple_ppl(Split::kValidation, *res.best);
-                const std::string c =
-                    cell(ppl, accuracy_loss(ppl, base),
-                         bops_saving_vs_fp16(model, *res.best));
-                (delta < 0.005 ? anda01 : anda1) = c;
-            }
-
+        for (std::size_t m = 0; m < zoo.size(); ++m) {
+            const Cell &c = cells[d][m];
             table.add_row(
-                {model.name, fmt(fp16, 2),
-                 cell(base, 0.0, 1.0),
-                 cell(figna, accuracy_loss(figna, base), 64.0 / 52.0),
-                 cell(vsq, accuracy_loss(vsq, base), 4.0),
-                 anda01, anda1});
+                {zoo[m].name, fmt(c.fp16, 2),
+                 cell(c.base, 0.0, 1.0),
+                 cell(c.figna, accuracy_loss(c.figna, c.base),
+                      64.0 / 52.0),
+                 cell(c.vsq, accuracy_loss(c.vsq, c.base), 4.0),
+                 c.anda01, c.anda1});
         }
         std::fputs(table.to_string().c_str(), stdout);
         std::puts("");
@@ -70,6 +130,7 @@ main()
               "paper bands (WikiText2): FIGNA drop ~0-0.2% at 1.23x; "
               "VS-Quant drop 11-48% at 4.0x;\n"
               "Anda 0.1%: drop <=0.2% at 1.80-3.10x; Anda 1%: drop "
-              "~1% at 2.44-3.31x");
-    return 0;
+              "~1% at 2.44-3.31x\n");
+    std::fputs(report.summary().c_str(), stdout);
+    return report.failed == 0 ? 0 : 1;
 }

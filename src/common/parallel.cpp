@@ -168,6 +168,12 @@ default_thread_count()
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+bool
+parallel_nested()
+{
+    return tls_in_parallel;
+}
+
 std::size_t
 parallel_pool_size()
 {

@@ -46,6 +46,13 @@ void parallel_for_chunked(
 /// Number of worker threads parallel_for will use by default.
 std::size_t default_thread_count();
 
+/// True when the calling thread is already inside a parallel region
+/// (a parallel_for issued here would run serially inline). Lets
+/// drivers pick work granularity: e.g. perplexity batches all
+/// sequences into one stacked forward pass when its batch loop cannot
+/// parallelize anyway.
+bool parallel_nested();
+
 /// Number of persistent worker threads in the shared pool (the calling
 /// thread participates too, so peak concurrency is this value + 1).
 /// Forces lazy pool creation.

@@ -33,8 +33,10 @@ ResultCache::get(const std::string &key) const
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map_.find(key);
     if (it == map_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
 }
 

@@ -10,6 +10,8 @@
 /// (one line per entry: "<key>\t<value>"). Deleting the file is always
 /// safe; it only trades time for recomputation.
 
+#include <atomic>
+#include <cstddef>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -32,8 +34,21 @@ class ResultCache {
 
     std::size_t size() const;
 
+    /// Lifetime lookup counters (get() calls that found / did not find
+    /// their key). Sweep drivers report deltas of these per sweep.
+    std::size_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::size_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
   private:
     mutable std::mutex mutex_;
+    mutable std::atomic<std::size_t> hits_{0};
+    mutable std::atomic<std::size_t> misses_{0};
     std::string path_;
     std::unordered_map<std::string, double> map_;
 };

@@ -1,7 +1,8 @@
 #include "llm/corpus.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "common/parallel.h"
@@ -67,26 +68,63 @@ generate_corpus(const Transformer &teacher, const DatasetSpec &spec,
 
 double
 perplexity(const Transformer &model, const Corpus &corpus,
-           const RunOptions &opts)
+           const RunOptions &opts, const EvalOptions &eval)
 {
-    if (corpus.sequences.empty()) {
+    const std::size_t n = corpus.sequences.size();
+    if (n == 0) {
         throw std::invalid_argument("empty corpus");
     }
-    std::vector<double> nll(corpus.sequences.size(), 0.0);
-    // Parallelism lives at the sequence level here, so inner kernels
-    // must run serially (threads = 1) — see the ownership convention
-    // in src/common/parallel.h.
+    // Batch size: one batch per worker keeps every pool thread busy;
+    // when the loop below cannot parallelize anyway (explicit serial or
+    // nested inside a sweep worker), stack everything into one forward
+    // pass so the GeMM m-dimension grows from T to B*T.
+    const std::size_t workers =
+        eval.threads == 0 ? parallel_pool_size() + 1 : eval.threads;
+    std::size_t batch = eval.batch;
+    if (batch == 0) {
+        batch = workers <= 1 || parallel_nested()
+                    ? n
+                    : (n + workers - 1) / workers;
+    }
+    // Consecutive same-length runs of at most `batch` sequences; the
+    // batched path requires equal lengths within one stack.
+    struct Range {
+        std::size_t lo, hi;
+    };
+    std::vector<Range> batches;
+    for (std::size_t i = 0; i < n;) {
+        std::size_t j = i + 1;
+        while (j < n && j - i < batch &&
+               corpus.sequences[j].size() ==
+                   corpus.sequences[i].size()) {
+            ++j;
+        }
+        batches.push_back({i, j});
+        i = j;
+    }
+    std::vector<double> nll(n, 0.0);
+    // Parallelism lives at the batch level here, so inner kernels must
+    // run serially (threads = 1) — see the ownership convention in
+    // src/common/parallel.h.
     RunOptions inner = opts;
     inner.threads = 1;
-    parallel_for(0, corpus.sequences.size(), [&](std::size_t i) {
-        nll[i] = model.sequence_nll(corpus.sequences[i], inner);
-    });
+    parallel_for(
+        0, batches.size(),
+        [&](std::size_t b) {
+            const auto [lo, hi] = batches[b];
+            const std::span<const std::vector<int>> seqs(
+                corpus.sequences.data() + lo, hi - lo);
+            const std::vector<double> out =
+                model.batch_nll(seqs, inner);
+            std::copy(out.begin(), out.end(), nll.begin() + lo);
+        },
+        eval.threads);
     double total = 0.0;
     for (double v : nll) {
         total += v;
     }
-    const std::size_t n = corpus.predicted_tokens();
-    return std::exp(total / static_cast<double>(n));
+    return std::exp(total /
+                    static_cast<double>(corpus.predicted_tokens()));
 }
 
 double

@@ -52,10 +52,25 @@ struct Corpus {
 Corpus generate_corpus(const Transformer &teacher,
                        const DatasetSpec &spec, Split split);
 
+/// Controls how a corpus evaluation is scheduled. The measured
+/// perplexity is invariant to both knobs: batching only stacks
+/// sequences into one bit-identical forward pass, and the batch loop's
+/// partitioning never changes per-sequence results (enforced by
+/// tests/test_batched.cpp).
+struct EvalOptions {
+    /// Worker threads of the batch loop (0 = all cores, 1 = serial).
+    std::size_t threads = 0;
+    /// Sequences stacked per batched forward pass. 0 = auto: one batch
+    /// per available worker, or the whole corpus when the loop cannot
+    /// parallelize (serial / nested inside another parallel region).
+    std::size_t batch = 0;
+};
+
 /// Perplexity of the model under `opts` on a corpus:
-/// exp(total NLL / predicted tokens). Parallelizes over sequences.
+/// exp(total NLL / predicted tokens). Runs batched forward passes
+/// (Transformer::batch_nll) across the thread pool.
 double perplexity(const Transformer &model, const Corpus &corpus,
-                  const RunOptions &opts);
+                  const RunOptions &opts, const EvalOptions &eval = {});
 
 /// Relative accuracy loss of a perplexity vs a reference perplexity:
 /// (ppl - ppl_ref) / ppl_ref. Positive = worse, the quantity the

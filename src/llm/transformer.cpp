@@ -228,19 +228,19 @@ Transformer::Transformer(const ModelConfig &cfg) : cfg_(cfg)
     }
 }
 
-Matrix
-Transformer::embed(std::span<const int> tokens,
-                   std::size_t pos_offset) const
+void
+Transformer::embed_into(std::span<const int> tokens,
+                        std::size_t pos_offset, Matrix &x,
+                        std::size_t row0) const
 {
     const ModelDims &d = cfg_.sim;
-    Matrix x(tokens.size(), static_cast<std::size_t>(d.d_model));
     for (std::size_t t = 0; t < tokens.size(); ++t) {
         const int tok = tokens[t];
         if (tok < 0 || tok >= d.vocab) {
             throw std::invalid_argument("token id out of range");
         }
         const auto erow = embedding_.row(static_cast<std::size_t>(tok));
-        auto xrow = x.row(t);
+        auto xrow = x.row(row0 + t);
         std::copy(erow.begin(), erow.end(), xrow.begin());
         if (!cfg_.is_llama()) {
             const std::size_t pos = pos_offset + t;
@@ -254,13 +254,22 @@ Transformer::embed(std::span<const int> tokens,
             v = fp16_round(v);
         }
     }
+}
+
+Matrix
+Transformer::embed(std::span<const int> tokens,
+                   std::size_t pos_offset) const
+{
+    Matrix x(tokens.size(),
+             static_cast<std::size_t>(cfg_.sim.d_model));
+    embed_into(tokens, pos_offset, x, 0);
     return x;
 }
 
 void
 Transformer::run_block(std::size_t layer, Matrix &x,
                        const RunOptions &opts, KvCache *kv,
-                       std::size_t pos_offset) const
+                       std::size_t pos_offset, std::size_t n_seqs) const
 {
     const ModelDims &dims = cfg_.sim;
     const LayerWeights &lw = layers_[layer];
@@ -269,6 +278,9 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     const std::size_t heads = static_cast<std::size_t>(dims.n_heads);
     const std::size_t hd = d / heads;
     const bool llama = cfg_.is_llama();
+    assert(n_seqs >= 1 && t_len % n_seqs == 0);
+    assert(kv == nullptr || n_seqs == 1);
+    const std::size_t seq_len = t_len / n_seqs;
 
     // ---- Attention ----
     Matrix a(t_len, d);
@@ -286,16 +298,20 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     Matrix v = matmul_wt(a, pick(lw.wv, lw.wv_dq, opts), opts.threads);
     if (llama) {
         for (std::size_t t = 0; t < t_len; ++t) {
+            // Positions restart at every stacked sequence boundary.
+            const std::size_t pos = pos_offset + t % seq_len;
             for (std::size_t h = 0; h < heads; ++h) {
                 rope_inplace(q.row(t).subspan(h * hd, hd),
-                             static_cast<int>(pos_offset + t));
+                             static_cast<int>(pos));
                 rope_inplace(k.row(t).subspan(h * hd, hd),
-                             static_cast<int>(pos_offset + t));
+                             static_cast<int>(pos));
             }
         }
     }
 
-    std::size_t kv_len = t_len;
+    // Rows of k/v each sequence attends over (its own block only, so
+    // stacked sequences never see each other).
+    std::size_t kv_len = seq_len;
     const Matrix *k_src = &k;
     const Matrix *v_src = &v;
     if (kv != nullptr) {
@@ -318,26 +334,38 @@ Transformer::run_block(std::size_t layer, Matrix &x,
 
     Matrix ctx(t_len, d);
     {
-        Matrix qh(t_len, hd);
+        Matrix qh(seq_len, hd);
         Matrix kh(kv_len, hd);
         Matrix vh(kv_len, hd);
-        Matrix oh(t_len, hd);
-        for (std::size_t h = 0; h < heads; ++h) {
-            for (std::size_t t = 0; t < t_len; ++t) {
-                const auto src = q.row(t).subspan(h * hd, hd);
-                std::copy(src.begin(), src.end(), qh.row(t).begin());
-            }
-            for (std::size_t t = 0; t < kv_len; ++t) {
-                const auto ks = k_src->row(t).subspan(h * hd, hd);
-                const auto vs = v_src->row(t).subspan(h * hd, hd);
-                std::copy(ks.begin(), ks.end(), kh.row(t).begin());
-                std::copy(vs.begin(), vs.end(), vh.row(t).begin());
-            }
-            causal_attention_head(qh, kh, vh, kv_len, pos_offset, oh);
-            for (std::size_t t = 0; t < t_len; ++t) {
-                const auto dst = ctx.row(t).subspan(h * hd, hd);
-                std::copy(oh.row(t).begin(), oh.row(t).end(),
-                          dst.begin());
+        Matrix oh(seq_len, hd);
+        for (std::size_t s = 0; s < n_seqs; ++s) {
+            const std::size_t r0 = s * seq_len;
+            // With a cache, k/v rows are cache-absolute; without one,
+            // each sequence's rows sit at its own block offset.
+            const std::size_t kv0 = kv != nullptr ? 0 : r0;
+            for (std::size_t h = 0; h < heads; ++h) {
+                for (std::size_t t = 0; t < seq_len; ++t) {
+                    const auto src =
+                        q.row(r0 + t).subspan(h * hd, hd);
+                    std::copy(src.begin(), src.end(),
+                              qh.row(t).begin());
+                }
+                for (std::size_t t = 0; t < kv_len; ++t) {
+                    const auto ks =
+                        k_src->row(kv0 + t).subspan(h * hd, hd);
+                    const auto vs =
+                        v_src->row(kv0 + t).subspan(h * hd, hd);
+                    std::copy(ks.begin(), ks.end(), kh.row(t).begin());
+                    std::copy(vs.begin(), vs.end(), vh.row(t).begin());
+                }
+                causal_attention_head(qh, kh, vh, kv_len, pos_offset,
+                                      oh);
+                for (std::size_t t = 0; t < seq_len; ++t) {
+                    const auto dst =
+                        ctx.row(r0 + t).subspan(h * hd, hd);
+                    std::copy(oh.row(t).begin(), oh.row(t).end(),
+                              dst.begin());
+                }
             }
         }
     }
@@ -418,20 +446,37 @@ Transformer::final_logits_row(std::span<const float> x,
 }
 
 Matrix
+Transformer::forward_hidden(std::span<const int> tokens_flat,
+                            std::size_t n_seqs,
+                            const RunOptions &opts) const
+{
+    if (n_seqs == 0 || tokens_flat.empty()) {
+        throw std::invalid_argument("empty token sequence");
+    }
+    if (tokens_flat.size() % n_seqs != 0) {
+        throw std::invalid_argument(
+            "stacked token buffer not divisible by sequence count");
+    }
+    const std::size_t t = tokens_flat.size() / n_seqs;
+    if (t > static_cast<std::size_t>(cfg_.sim.max_seq)) {
+        throw std::invalid_argument("sequence exceeds max_seq");
+    }
+    Matrix x(tokens_flat.size(),
+             static_cast<std::size_t>(cfg_.sim.d_model));
+    for (std::size_t s = 0; s < n_seqs; ++s) {
+        embed_into(tokens_flat.subspan(s * t, t), 0, x, s * t);
+    }
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        run_block(l, x, opts, nullptr, 0, n_seqs);
+    }
+    return x;
+}
+
+Matrix
 Transformer::forward_logits(std::span<const int> tokens,
                             const RunOptions &opts) const
 {
-    if (tokens.empty()) {
-        throw std::invalid_argument("empty token sequence");
-    }
-    if (tokens.size() >
-        static_cast<std::size_t>(cfg_.sim.max_seq)) {
-        throw std::invalid_argument("sequence exceeds max_seq");
-    }
-    Matrix x = embed(tokens, 0);
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-        run_block(l, x, opts, nullptr, 0);
-    }
+    const Matrix x = forward_hidden(tokens, 1, opts);
     Matrix logits(tokens.size(),
                   static_cast<std::size_t>(cfg_.sim.vocab));
     for (std::size_t t = 0; t < tokens.size(); ++t) {
@@ -440,19 +485,82 @@ Transformer::forward_logits(std::span<const int> tokens,
     return logits;
 }
 
+namespace {
+
+/// Flattens B same-length sequences into one token buffer; throws on
+/// an empty batch or mismatched lengths.
+std::vector<int>
+stack_sequences(std::span<const std::vector<int>> seqs)
+{
+    if (seqs.empty()) {
+        throw std::invalid_argument("empty sequence batch");
+    }
+    const std::size_t t = seqs.front().size();
+    std::vector<int> flat;
+    flat.reserve(seqs.size() * t);
+    for (const auto &s : seqs) {
+        if (s.size() != t) {
+            throw std::invalid_argument(
+                "batched sequences must share one length");
+        }
+        flat.insert(flat.end(), s.begin(), s.end());
+    }
+    return flat;
+}
+
+}  // namespace
+
+Matrix
+Transformer::forward_logits_batched(
+    std::span<const std::vector<int>> seqs, const RunOptions &opts) const
+{
+    const std::vector<int> flat = stack_sequences(seqs);
+    const Matrix x = forward_hidden(flat, seqs.size(), opts);
+    Matrix logits(x.rows(), static_cast<std::size_t>(cfg_.sim.vocab));
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        final_logits_row(x.row(r), logits.row(r));
+    }
+    return logits;
+}
+
+std::vector<double>
+Transformer::nll_stacked(std::span<const int> tokens_flat,
+                         std::size_t n_seqs,
+                         const RunOptions &opts) const
+{
+    const std::size_t t_len =
+        n_seqs == 0 ? 0 : tokens_flat.size() / n_seqs;
+    if (t_len < 2) {
+        throw std::invalid_argument("need at least two tokens for NLL");
+    }
+    const Matrix x = forward_hidden(tokens_flat, n_seqs, opts);
+    // Stream the logit head one row at a time: peak memory stays at one
+    // vocab-sized buffer instead of the full [n_seqs*T x vocab] matrix.
+    std::vector<float> logits(static_cast<std::size_t>(cfg_.sim.vocab));
+    std::vector<double> nll(n_seqs, 0.0);
+    for (std::size_t s = 0; s < n_seqs; ++s) {
+        for (std::size_t t = 0; t + 1 < t_len; ++t) {
+            const std::size_t row = s * t_len + t;
+            final_logits_row(x.row(row), logits);
+            nll[s] -= log_prob_of(logits, tokens_flat[row + 1]);
+        }
+    }
+    return nll;
+}
+
 double
 Transformer::sequence_nll(std::span<const int> tokens,
                           const RunOptions &opts) const
 {
-    if (tokens.size() < 2) {
-        throw std::invalid_argument("need at least two tokens for NLL");
-    }
-    const Matrix logits = forward_logits(tokens, opts);
-    double nll = 0.0;
-    for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
-        nll -= log_prob_of(logits.row(t), tokens[t + 1]);
-    }
-    return nll;
+    return nll_stacked(tokens, 1, opts)[0];
+}
+
+std::vector<double>
+Transformer::batch_nll(std::span<const std::vector<int>> seqs,
+                       const RunOptions &opts) const
+{
+    const std::vector<int> flat = stack_sequences(seqs);
+    return nll_stacked(flat, seqs.size(), opts);
 }
 
 std::vector<int>
@@ -481,7 +589,7 @@ Transformer::sample_sequence(int length, double temperature,
                          static_cast<std::size_t>(pos));
         for (std::size_t l = 0; l < layers_.size(); ++l) {
             run_block(l, x, opts, &cache,
-                      static_cast<std::size_t>(pos));
+                      static_cast<std::size_t>(pos), 1);
         }
         final_logits_row(x.row(0), logits);
         tokens.push_back(

@@ -68,11 +68,31 @@ class Transformer {
     Matrix forward_logits(std::span<const int> tokens,
                           const RunOptions &opts) const;
 
+    /// Batched forward pass over B same-length sequences, stacked into
+    /// one [B*T x d] activation matrix so every GeMM tap runs once per
+    /// layer over all B*T token rows. Attention is masked per sequence
+    /// (block-diagonal), so the result is bit-identical to B separate
+    /// forward_logits calls. Returns logits [B*T x vocab], sequence s
+    /// occupying rows [s*T, (s+1)*T).
+    Matrix
+    forward_logits_batched(std::span<const std::vector<int>> seqs,
+                           const RunOptions &opts) const;
+
     /// Sum of next-token negative log-likelihoods over the sequence
     /// (predicting tokens[1..T-1]); the number of predicted tokens is
-    /// tokens.size() - 1.
+    /// tokens.size() - 1. Streams one logits row at a time (the
+    /// [T x vocab] logits matrix is never materialized).
     double sequence_nll(std::span<const int> tokens,
                         const RunOptions &opts) const;
+
+    /// Per-sequence NLL sums of B same-length sequences evaluated in
+    /// one stacked forward pass. Bit-identical to calling sequence_nll
+    /// on each sequence (enforced by tests/test_batched.cpp); like
+    /// sequence_nll it streams logit rows instead of materializing the
+    /// [B*T x vocab] matrix.
+    std::vector<double>
+    batch_nll(std::span<const std::vector<int>> seqs,
+              const RunOptions &opts) const;
 
     /// Ancestrally samples a sequence from the full-precision model
     /// (the "teacher"); deterministic in (seed). First token is 0 (BOS).
@@ -94,11 +114,14 @@ class Transformer {
         Matrix w_up_dq, w_down_dq;
     };
 
-    /// Runs one transformer block over x [T x d] in place.
-    /// kv_cache != nullptr enables incremental decoding (see .cpp).
+    /// Runs one transformer block over x [n_seqs*T x d] in place; all
+    /// row-wise operations span the stacked rows, attention is
+    /// per-sequence. kv_cache != nullptr enables incremental decoding
+    /// (n_seqs must be 1; see .cpp).
     struct KvCache;
     void run_block(std::size_t layer, Matrix &x, const RunOptions &opts,
-                   KvCache *kv, std::size_t pos_offset) const;
+                   KvCache *kv, std::size_t pos_offset,
+                   std::size_t n_seqs) const;
 
     const Matrix &pick(const Matrix &full, const Matrix &dq,
                        const RunOptions &opts) const
@@ -108,6 +131,18 @@ class Transformer {
 
     Matrix embed(std::span<const int> tokens,
                  std::size_t pos_offset) const;
+    void embed_into(std::span<const int> tokens, std::size_t pos_offset,
+                    Matrix &x, std::size_t row0) const;
+    /// Runs embedding + all blocks over n_seqs stacked same-length
+    /// sequences (tokens_flat.size() == n_seqs * T); returns the final
+    /// hidden states [n_seqs*T x d] before the logit head.
+    Matrix forward_hidden(std::span<const int> tokens_flat,
+                          std::size_t n_seqs,
+                          const RunOptions &opts) const;
+    /// Streamed per-sequence NLLs over the stacked token buffer.
+    std::vector<double> nll_stacked(std::span<const int> tokens_flat,
+                                    std::size_t n_seqs,
+                                    const RunOptions &opts) const;
     void final_logits_row(std::span<const float> x,
                           std::span<float> out) const;
 

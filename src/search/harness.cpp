@@ -1,5 +1,6 @@
 #include "search/harness.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace anda {
@@ -7,24 +8,115 @@ namespace anda {
 std::string
 default_cache_path()
 {
+    if (const char *env = std::getenv("ANDA_EVAL_CACHE")) {
+        return env;  // Empty string = in-memory only (ResultCache).
+    }
     return "anda_eval_cache.tsv";
+}
+
+std::string
+ModelRegistry::key_of(const ModelConfig &cfg)
+{
+    // Everything Transformer construction reads must be part of the
+    // identity; two configs differing only in `real` dims share a model.
+    std::ostringstream key;
+    key.precision(17);
+    const ModelDims &d = cfg.sim;
+    const OutlierProfile &p = cfg.profile;
+    key << cfg.name << '|' << static_cast<int>(cfg.family) << '|'
+        << cfg.seed << '|' << d.d_model << ',' << d.n_layers << ','
+        << d.n_heads << ',' << d.d_ffn << ',' << d.vocab << ','
+        << d.max_seq << '|' << p.channel_sigma << ','
+        << p.outlier_channels << ',' << p.resid_outlier_gain << ','
+        << p.o_outlier_gain << ',' << p.d_outlier_gain << ','
+        << p.attn_sharpness << ',' << p.logit_scale;
+    return key.str();
+}
+
+std::shared_ptr<const Transformer>
+ModelRegistry::get(const ModelConfig &cfg)
+{
+    const std::string key = key_of(cfg);
+    std::promise<std::shared_ptr<const Transformer>> promise;
+    Future future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = models_.find(key);
+        if (it == models_.end()) {
+            builder = true;
+            future = promise.get_future().share();
+            models_.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+    if (builder) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            promise.set_value(std::make_shared<const Transformer>(cfg));
+        } catch (...) {
+            // Don't poison the registry with a failed construction:
+            // drop the entry so a later get() can retry, and propagate
+            // the error to everyone waiting on this future.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            models_.erase(key);
+        }
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return future.get();
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.size();
+}
+
+ModelRegistry &
+ModelRegistry::global()
+{
+    static ModelRegistry registry;
+    return registry;
 }
 
 SearchHarness::SearchHarness(const ModelConfig &cfg,
                              const DatasetSpec &dataset, ResultCache *cache)
-    : cfg_(cfg), dataset_(dataset), cache_(cache),
-      model_(std::make_unique<Transformer>(cfg))
+    : SearchHarness(cfg, dataset, cache, &ModelRegistry::global())
 {
+}
+
+SearchHarness::SearchHarness(const ModelConfig &cfg,
+                             const DatasetSpec &dataset, ResultCache *cache,
+                             ModelRegistry *registry)
+    : cfg_(cfg), dataset_(dataset), cache_(cache), registry_(registry)
+{
+}
+
+const Transformer &
+SearchHarness::model() const
+{
+    std::call_once(model_once_, [this] {
+        model_ = registry_ != nullptr
+                     ? registry_->get(cfg_)
+                     : std::make_shared<const Transformer>(cfg_);
+    });
+    return *model_;
 }
 
 const Corpus &
 SearchHarness::corpus(Split split)
 {
+    const Transformer &m = model();  // Outside the corpus lock.
+    std::lock_guard<std::mutex> lock(corpus_mutex_);
     auto &slot =
         split == Split::kCalibration ? calibration_ : validation_;
     if (!slot) {
         slot = std::make_unique<Corpus>(
-            generate_corpus(*model_, dataset_, split));
+            generate_corpus(m, dataset_, split));
     }
     return *slot;
 }
@@ -41,8 +133,8 @@ SearchHarness::cached_ppl(const std::string &key, const RunOptions &opts,
             return *hit;
         }
     }
-    const double ppl = perplexity(*model_, corpus(split), opts);
-    ++evaluations_;
+    const double ppl = perplexity(model(), corpus(split), opts);
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
     if (cache_ != nullptr) {
         cache_->put(full.str(), ppl);
     }

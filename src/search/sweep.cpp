@@ -1,0 +1,183 @@
+#include "search/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace anda {
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+std::string
+SweepReport::summary() const
+{
+    std::ostringstream out;
+    out.precision(3);
+    out << std::fixed;
+    out << "sweep: " << jobs << " jobs in " << wall_seconds << " s on "
+        << threads << (threads == 1 ? " thread" : " threads") << "; "
+        << fresh_evaluations << " fresh evaluations, cache "
+        << cache_hits << " hits / " << cache_misses << " misses; "
+        << models_constructed << " models constructed, "
+        << models_reused << " reused\n";
+    if (failed > 0) {
+        out << "  " << failed << " job(s) FAILED:\n";
+        for (const auto &j : job_reports) {
+            if (!j.error.empty()) {
+                out << "    " << j.model << " x " << j.dataset << " ["
+                    << j.config << "]: " << j.error << "\n";
+            }
+        }
+    }
+    double job_seconds = 0.0;
+    for (const auto &j : job_reports) {
+        job_seconds += j.seconds;
+    }
+    if (!job_reports.empty()) {
+        out << "  job time " << job_seconds << " s total";
+        if (wall_seconds > 0.0) {
+            out << " (" << job_seconds / wall_seconds
+                << "x the wall clock)";
+        }
+        out << "; slowest:\n";
+        std::vector<const SweepJobReport *> by_cost;
+        by_cost.reserve(job_reports.size());
+        for (const auto &j : job_reports) {
+            by_cost.push_back(&j);
+        }
+        std::sort(by_cost.begin(), by_cost.end(),
+                  [](const SweepJobReport *a, const SweepJobReport *b) {
+                      return a->seconds > b->seconds;
+                  });
+        const std::size_t show =
+            std::min<std::size_t>(3, by_cost.size());
+        for (std::size_t i = 0; i < show; ++i) {
+            out << "    " << by_cost[i]->model << " x "
+                << by_cost[i]->dataset << " [" << by_cost[i]->config
+                << "]: " << by_cost[i]->seconds << " s\n";
+        }
+    }
+    return out.str();
+}
+
+SweepScheduler::SweepScheduler(ResultCache *cache, ModelRegistry *registry,
+                               SweepOptions opts)
+    : cache_(cache), registry_(registry), opts_(opts)
+{
+}
+
+SearchHarness &
+SweepScheduler::harness(const ModelConfig &model,
+                        const DatasetSpec &dataset)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Full identities, not just names: a sweep may ablate seeds, sim
+    // dims, or dataset sizes under one name and must not collapse
+    // those onto one harness.
+    std::ostringstream key;
+    key.precision(17);
+    key << ModelRegistry::key_of(model) << '#' << dataset.name << ','
+        << dataset.temperature << ',' << dataset.seed << ','
+        << dataset.n_sequences << ',' << dataset.seq_len;
+    auto &slot = harnesses_[key.str()];
+    if (!slot) {
+        slot = std::make_unique<SearchHarness>(model, dataset, cache_,
+                                               registry_);
+    }
+    return *slot;
+}
+
+void
+SweepScheduler::add(const ModelConfig &model, const DatasetSpec &dataset,
+                    std::string config,
+                    std::function<void(SearchHarness &)> fn)
+{
+    SearchHarness &h = harness(model, dataset);
+    jobs_.push_back({&h, model.name, dataset.name, std::move(config),
+                     std::move(fn)});
+}
+
+SweepReport
+SweepScheduler::run()
+{
+    SweepReport report;
+    report.jobs = jobs_.size();
+    report.threads =
+        opts_.threads == 0 ? parallel_pool_size() + 1 : opts_.threads;
+    report.job_reports.resize(jobs_.size());
+
+    const std::size_t cache_hits0 = cache_ ? cache_->hits() : 0;
+    const std::size_t cache_misses0 = cache_ ? cache_->misses() : 0;
+    const std::size_t reg_hits0 = registry_ ? registry_->hits() : 0;
+    const std::size_t reg_misses0 = registry_ ? registry_->misses() : 0;
+    std::size_t evals0 = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[key, h] : harnesses_) {
+            evals0 += h->evaluations();
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    parallel_for(
+        0, jobs_.size(),
+        [&](std::size_t i) {
+            Job &job = jobs_[i];
+            SweepJobReport &jr = report.job_reports[i];
+            jr.model = job.model;
+            jr.dataset = job.dataset;
+            jr.config = job.config;
+            const auto jt0 = std::chrono::steady_clock::now();
+            // A throw on a pool worker would terminate the process
+            // (parallel.h's noexcept-by-design contract), so capture
+            // failures per job and surface them in the report.
+            try {
+                job.fn(*job.harness);
+            } catch (const std::exception &e) {
+                jr.error = e.what();
+            } catch (...) {
+                jr.error = "unknown exception";
+            }
+            jr.seconds = seconds_since(jt0);
+        },
+        opts_.threads);
+    report.wall_seconds = seconds_since(t0);
+    for (const auto &jr : report.job_reports) {
+        if (!jr.error.empty()) {
+            ++report.failed;
+        }
+    }
+
+    if (cache_ != nullptr) {
+        report.cache_hits = cache_->hits() - cache_hits0;
+        report.cache_misses = cache_->misses() - cache_misses0;
+    }
+    if (registry_ != nullptr) {
+        report.models_constructed = registry_->misses() - reg_misses0;
+        report.models_reused = registry_->hits() - reg_hits0;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[key, h] : harnesses_) {
+            report.fresh_evaluations += h->evaluations();
+        }
+    }
+    report.fresh_evaluations -= evals0;
+    jobs_.clear();
+    return report;
+}
+
+}  // namespace anda

@@ -1,0 +1,126 @@
+#pragma once
+
+/// @file
+/// Parallel sweep scheduler for serving-style evaluation workloads.
+///
+/// The paper's accuracy experiments (Table II, Figs. 9/14/18) are grids
+/// of independent (model, dataset, config) perplexity evaluations. The
+/// scheduler enumerates those jobs up front, binds each (model,
+/// dataset) pair to one shared SearchHarness (models deduplicated
+/// through a ModelRegistry, results memoized in a ResultCache), and
+/// runs the jobs across the persistent thread pool. Inner kernels stay
+/// serial automatically: jobs execute inside pool workers, where nested
+/// parallel_for calls run inline — the ownership convention of
+/// src/common/parallel.h. Each run() reports wall-clock, per-job
+/// timings, cache hit/miss deltas, and model construction/reuse counts.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/harness.h"
+
+namespace anda {
+
+/// Scheduling knobs of one sweep.
+struct SweepOptions {
+    /// Worker threads of the job loop: 0 = all cores, 1 = serial (the
+    /// pre-scheduler baseline, useful for before/after timing).
+    std::size_t threads = 0;
+};
+
+/// Outcome of one job, in enqueue order.
+struct SweepJobReport {
+    std::string model;
+    std::string dataset;
+    std::string config;
+    double seconds = 0.0;
+    /// Empty on success; the exception message otherwise. Jobs run on
+    /// pool workers, where a throw would terminate the process (see
+    /// src/common/parallel.h), so the scheduler catches per job and
+    /// reports here instead.
+    std::string error;
+};
+
+/// Aggregate outcome of one SweepScheduler::run().
+struct SweepReport {
+    double wall_seconds = 0.0;
+    std::size_t jobs = 0;
+    /// Jobs whose fn threw (their job_reports carry the messages).
+    std::size_t failed = 0;
+    /// Worker threads the job loop was allowed to use.
+    std::size_t threads = 0;
+    /// ResultCache lookup deltas across the run (0 without a cache).
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    /// ModelRegistry deltas across the run: models constructed vs
+    /// served from the registry (0 without a registry).
+    std::size_t models_constructed = 0;
+    std::size_t models_reused = 0;
+    /// Perplexity evaluations that missed the memo cache (fresh
+    /// forward passes over a corpus).
+    std::size_t fresh_evaluations = 0;
+    std::vector<SweepJobReport> job_reports;
+
+    /// Multi-line human-readable summary (one header line plus the
+    /// slowest jobs), suitable for logs and CI artifacts.
+    std::string summary() const;
+};
+
+/// Enumerates evaluation jobs and runs them across the thread pool.
+/// Jobs enqueued for the same (model, dataset) pair share one
+/// SearchHarness (and therefore one model instance and one pair of
+/// corpora); harnesses are thread-safe, so such jobs may still run
+/// concurrently.
+class SweepScheduler {
+  public:
+    /// cache and registry may each be nullptr (no memoization / no
+    /// model sharing across harnesses).
+    explicit SweepScheduler(ResultCache *cache = nullptr,
+                            ModelRegistry *registry =
+                                &ModelRegistry::global(),
+                            SweepOptions opts = {});
+
+    /// The shared harness of (model, dataset), created on first use.
+    /// Model construction is deferred to first evaluation, so calling
+    /// this (and add()) is cheap.
+    SearchHarness &harness(const ModelConfig &model,
+                           const DatasetSpec &dataset);
+
+    /// Enqueues one evaluation job. `config` is a label for reporting;
+    /// `fn` receives the shared harness of (model, dataset).
+    void add(const ModelConfig &model, const DatasetSpec &dataset,
+             std::string config,
+             std::function<void(SearchHarness &)> fn);
+
+    /// Jobs currently enqueued.
+    std::size_t pending() const { return jobs_.size(); }
+
+    /// Runs every enqueued job across the pool, clears the queue, and
+    /// returns the run's statistics. Harnesses persist across runs, so
+    /// a follow-up sweep reuses models and corpora.
+    SweepReport run();
+
+  private:
+    struct Job {
+        SearchHarness *harness;
+        std::string model;
+        std::string dataset;
+        std::string config;
+        std::function<void(SearchHarness &)> fn;
+    };
+
+    ResultCache *cache_;
+    ModelRegistry *registry_;
+    SweepOptions opts_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::unique_ptr<SearchHarness>>
+        harnesses_;
+    std::vector<Job> jobs_;
+};
+
+}  // namespace anda

@@ -1,0 +1,169 @@
+// Bit-exactness of the batched evaluation pipeline: batch_nll /
+// forward_logits_batched vs the per-sequence path across activation
+// formats and batch sizes, streaming-NLL vs materialized logits, and
+// perplexity invariance to batch size and thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "llm/corpus.h"
+#include "llm/ops.h"
+#include "llm/transformer.h"
+
+namespace anda {
+namespace {
+
+class BatchedTest : public ::testing::Test {
+  protected:
+    static const Transformer &model()
+    {
+        static const Transformer m(find_model("llama-7b"));
+        return m;
+    }
+
+    /// Deterministic distinct token sequences of one length.
+    static std::vector<std::vector<int>> sequences(std::size_t count,
+                                                   std::size_t len)
+    {
+        const int vocab = model().dims().vocab;
+        std::vector<std::vector<int>> seqs(count);
+        for (std::size_t s = 0; s < count; ++s) {
+            seqs[s].resize(len);
+            for (std::size_t t = 0; t < len; ++t) {
+                seqs[s][t] = static_cast<int>(
+                    (s * 131 + t * 17 + 3) % static_cast<std::size_t>(
+                                                 vocab));
+            }
+        }
+        return seqs;
+    }
+
+    static std::vector<RunOptions> tap_formats()
+    {
+        RunOptions fp16;  // The W4A16 baseline.
+        RunOptions fp_weights;
+        fp_weights.quantized_weights = false;
+        RunOptions bfp;
+        bfp.prec = PrecisionConfig::uniform_bfp(64, 5);
+        RunOptions anda_tuple;
+        anda_tuple.prec = PrecisionConfig::anda({8, 7, 6, 5});
+        return {fp16, fp_weights, bfp, anda_tuple};
+    }
+};
+
+TEST_F(BatchedTest, BatchNllMatchesSequentialBitExactly)
+{
+    for (const RunOptions &opts : tap_formats()) {
+        for (std::size_t b : {1u, 2u, 7u}) {
+            const auto seqs = sequences(b, 9);
+            const std::vector<double> batched =
+                model().batch_nll(seqs, opts);
+            ASSERT_EQ(batched.size(), b);
+            for (std::size_t s = 0; s < b; ++s) {
+                const double single =
+                    model().sequence_nll(seqs[s], opts);
+                EXPECT_EQ(batched[s], single)
+                    << "batch=" << b << " seq=" << s;
+            }
+        }
+    }
+}
+
+TEST_F(BatchedTest, ForwardLogitsBatchedMatchesUnbatched)
+{
+    RunOptions opts;
+    const auto seqs = sequences(3, 6);
+    const Matrix batched = model().forward_logits_batched(seqs, opts);
+    ASSERT_EQ(batched.rows(), 18u);
+    for (std::size_t s = 0; s < seqs.size(); ++s) {
+        const Matrix single = model().forward_logits(seqs[s], opts);
+        for (std::size_t t = 0; t < seqs[s].size(); ++t) {
+            for (std::size_t v = 0; v < single.cols(); ++v) {
+                ASSERT_EQ(batched(s * seqs[s].size() + t, v),
+                          single(t, v))
+                    << "s=" << s << " t=" << t << " v=" << v;
+            }
+        }
+    }
+}
+
+TEST_F(BatchedTest, StreamedNllMatchesMaterializedLogits)
+{
+    // sequence_nll no longer materializes [T x vocab]; its streamed
+    // log-sum-exp must still reproduce the logits-matrix computation
+    // bit for bit.
+    RunOptions opts;
+    const auto seqs = sequences(1, 11);
+    const Matrix logits = model().forward_logits(seqs[0], opts);
+    double want = 0.0;
+    for (std::size_t t = 0; t + 1 < seqs[0].size(); ++t) {
+        want -= log_prob_of(logits.row(t), seqs[0][t + 1]);
+    }
+    EXPECT_EQ(model().sequence_nll(seqs[0], opts), want);
+}
+
+TEST_F(BatchedTest, RejectsBadBatches)
+{
+    RunOptions opts;
+    std::vector<std::vector<int>> empty;
+    EXPECT_THROW(model().batch_nll(empty, opts),
+                 std::invalid_argument);
+    std::vector<std::vector<int>> ragged = {{0, 1, 2}, {0, 1}};
+    EXPECT_THROW(model().batch_nll(ragged, opts),
+                 std::invalid_argument);
+    std::vector<std::vector<int>> short_seqs = {{0}, {1}};
+    EXPECT_THROW(model().batch_nll(short_seqs, opts),
+                 std::invalid_argument);
+    std::vector<std::vector<int>> too_long(
+        1, std::vector<int>(
+               static_cast<std::size_t>(model().dims().max_seq) + 1,
+               0));
+    EXPECT_THROW(model().batch_nll(too_long, opts),
+                 std::invalid_argument);
+    EXPECT_THROW(model().forward_logits_batched(empty, opts),
+                 std::invalid_argument);
+}
+
+TEST_F(BatchedTest, PerplexityInvariantToBatchAndThreads)
+{
+    const DatasetSpec spec{"batched-test", 1.0, 515, 6, 10};
+    const Corpus val =
+        generate_corpus(model(), spec, Split::kValidation);
+    RunOptions opts;
+    const double reference = perplexity(model(), val, opts);
+    for (const EvalOptions eval :
+         {EvalOptions{1, 1}, EvalOptions{1, 4}, EvalOptions{1, 6},
+          EvalOptions{0, 1}, EvalOptions{0, 2}, EvalOptions{2, 0},
+          EvalOptions{0, 0}}) {
+        EXPECT_EQ(perplexity(model(), val, opts, eval), reference)
+            << "threads=" << eval.threads << " batch=" << eval.batch;
+    }
+}
+
+TEST_F(BatchedTest, MixedLengthCorpusStillEvaluates)
+{
+    // The batch partitioner must split length changes into separate
+    // stacks; the result still matches the per-sequence sum.
+    Corpus corpus;
+    corpus.name = "mixed";
+    corpus.sequences = sequences(3, 8);
+    const auto longer = sequences(2, 13);
+    corpus.sequences.insert(corpus.sequences.end(), longer.begin(),
+                            longer.end());
+    RunOptions opts;
+    double total = 0.0;
+    for (const auto &s : corpus.sequences) {
+        total += model().sequence_nll(s, opts);
+    }
+    const double want =
+        std::exp(total /
+                 static_cast<double>(corpus.predicted_tokens()));
+    EXPECT_EQ(perplexity(model(), corpus, opts), want);
+    EXPECT_EQ(perplexity(model(), corpus, opts, EvalOptions{1, 4}),
+              want);
+}
+
+}  // namespace
+}  // namespace anda

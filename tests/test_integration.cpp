@@ -1,7 +1,8 @@
 // Integration tests across modules: the full deployment pipeline
 // (quantize -> search -> infer -> hardware estimate), cross-module
 // bit-exactness (BPC output driving the APU kernel inside a model-
-// shaped GeMM), and cache-backed search reproducibility.
+// shaped GeMM), cache-backed search reproducibility, and the parallel
+// sweep scheduler against direct serial evaluation.
 
 #include <gtest/gtest.h>
 
@@ -11,7 +12,7 @@
 #include "hw/cycle_sim.h"
 #include "hw/perf_model.h"
 #include "hw/workload.h"
-#include "search/harness.h"
+#include "search/sweep.h"
 
 namespace anda {
 namespace {
@@ -135,6 +136,48 @@ TEST(Integration, WorkloadEnergyMatchesPerGemmSum)
         EXPECT_EQ(run.cycles, cycles) << cfg.name;
         EXPECT_NEAR(run.total_energy_pj(), energy, 1e-6 * energy)
             << cfg.name;
+    }
+}
+
+TEST(Integration, SweepSchedulerMatchesDirectHarnesses)
+{
+    // A mini Table II-style sweep (2 models x 1 dataset, baseline +
+    // FIGNA-style BFP per cell) through the parallel scheduler must
+    // reproduce direct serial harness evaluations bit for bit, and the
+    // registry must construct each model exactly once even though two
+    // jobs per model run.
+    const DatasetSpec &ds = find_dataset("ptb-sim");
+    const ModelConfig &m0 = find_model("opt-1.3b");
+    const ModelConfig &m1 = find_model("llama2-7b");
+
+    ResultCache cache("");
+    ModelRegistry registry;
+    SweepScheduler sweep(&cache, &registry);
+    double scheduled[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+    const ModelConfig *models[2] = {&m0, &m1};
+    for (int i = 0; i < 2; ++i) {
+        double *row = scheduled[i];
+        sweep.add(*models[i], ds, "w4", [row](SearchHarness &h) {
+            row[0] = h.baseline_ppl(Split::kValidation);
+        });
+        sweep.add(*models[i], ds, "bfp-m14", [row](SearchHarness &h) {
+            row[1] = h.uniform_bfp_ppl(Split::kValidation, 64, 14);
+        });
+    }
+    const SweepReport report = sweep.run();
+    EXPECT_EQ(report.jobs, 4u);
+    EXPECT_EQ(report.models_constructed, 2u);
+    EXPECT_EQ(report.fresh_evaluations, 4u);
+    EXPECT_GT(report.wall_seconds, 0.0);
+
+    for (int i = 0; i < 2; ++i) {
+        SearchHarness direct(*models[i], ds, nullptr, nullptr);
+        EXPECT_EQ(scheduled[i][0],
+                  direct.baseline_ppl(Split::kValidation))
+            << models[i]->name;
+        EXPECT_EQ(scheduled[i][1],
+                  direct.uniform_bfp_ppl(Split::kValidation, 64, 14))
+            << models[i]->name;
     }
 }
 
