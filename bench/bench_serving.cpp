@@ -1,0 +1,141 @@
+// Serving simulation: continuous batching of a seeded request stream
+// on the seven accelerator systems, at two traffic intensities. The
+// per-step costs come from the hw perf model (fused prefill + decode
+// FP-INT GeMMs); reported are TTFT, decode inter-token latency, and
+// sustained output throughput — the paper's Figs. 16-18 measured as
+// serving traffic rather than one fixed-shape prefill.
+//
+// The (system, traffic) scenarios are independent, so they run as
+// jobs on the parallel sweep scheduler (ANDA_SWEEP_THREADS=1 for the
+// serial schedule). FP16-storage baselines serve with {16,16,16,16};
+// Anda and the FIGNA-Mx datapaths use the Table II 1%-tolerance
+// tuple regime {8,7,7,6}.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "search/sweep.h"
+#include "serve/serving_sim.h"
+
+namespace {
+
+anda::PrecisionTuple
+tuple_for(const anda::AcceleratorConfig &system)
+{
+    using anda::ActStorageFormat;
+    // Only the Anda storage format reacts to per-module mantissa
+    // lengths; FP16-storage systems store full-width activations and
+    // the FIGNA-Mx datapaths are priced by their fixed width
+    // regardless of the tuple (see hw/workload.h).
+    return system.act_storage == ActStorageFormat::kAnda
+               ? anda::PrecisionTuple{8, 7, 7, 6}
+               : anda::PrecisionTuple{16, 16, 16, 16};
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace anda;
+
+    const ModelConfig &model = find_model("llama-7b");
+
+    RequestStreamSpec base;
+    base.seed = 20260729;
+    base.n_requests = 48;
+    base.prompt_min = 32;
+    base.prompt_max = 512;
+    base.output_min = 16;
+    base.output_max = 128;
+
+    ServingOptions serving;
+    serving.max_batch = 8;
+    serving.max_step_tokens = 256;
+
+    struct Scenario {
+        std::string label;
+        double arrival_rate;
+    };
+    // Arrival rates bracket the systems' service rates (~0.1 req/s on
+    // the FP16-class configs, ~0.2 on Anda/FIGNA-M8 for this stream):
+    // "steady" sits at the capacity boundary, where the faster systems
+    // keep queues short and the slow ones build backlog; "burst"
+    // arrives all at once (pure offline throughput).
+    const std::vector<Scenario> scenarios = {
+        {"steady", 0.12},
+        {"burst", 0.0},
+    };
+
+    SweepScheduler sweep(nullptr, nullptr, SweepOptions::from_env());
+    const auto &systems = system_configs();
+    std::vector<std::vector<ServingReport>> reports(
+        scenarios.size(), std::vector<ServingReport>(systems.size()));
+
+    // The serving scenarios never build a Transformer: jobs only read
+    // the hw layer, so the shared harness stays an empty shell and the
+    // scheduler contributes job timing/failure reporting and the pool.
+    const DatasetSpec stream_tag{"request-stream", 1.0, base.seed, 0, 0};
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            ServingReport *out = &reports[s][c];
+            const AcceleratorConfig *system = &systems[c];
+            const Scenario *scen = &scenarios[s];
+            sweep.add(model, stream_tag,
+                      scen->label + "/" + system->name,
+                      [out, system, scen, &model, &base,
+                       &serving](SearchHarness &) {
+                          RequestStreamSpec spec = base;
+                          spec.arrival_rate = scen->arrival_rate;
+                          ServingOptions opts = serving;
+                          opts.tuple = tuple_for(*system);
+                          *out = simulate_serving(
+                              model, *system, tech16(),
+                              generate_requests(spec), opts);
+                      });
+        }
+    }
+    const SweepReport run_report = sweep.run();
+
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        Table table({"system", "TTFT mean [ms]", "TTFT p95 [ms]",
+                     "decode [ms/tok]", "out tok/s", "makespan [ms]",
+                     "speedup"});
+        table.set_title(
+            "Serving " + scenarios[s].label + ": " +
+            std::to_string(base.n_requests) + " requests on " +
+            model.name +
+            (scenarios[s].arrival_rate > 0.0
+                 ? " at " + fmt(scenarios[s].arrival_rate, 2) + " req/s"
+                 : " arriving at once") +
+            ", batch " + std::to_string(serving.max_batch) +
+            ", step budget " + std::to_string(serving.max_step_tokens));
+        double base_makespan = 0.0;
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            if (systems[c].name == "fp-fp") {
+                base_makespan = reports[s][c].makespan_s;
+            }
+        }
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            const ServingReport &r = reports[s][c];
+            table.add_row({systems[c].name,
+                           fmt(r.mean_ttft_s() * 1e3, 3),
+                           fmt(r.p95_ttft_s() * 1e3, 3),
+                           fmt(r.mean_decode_s_per_token() * 1e3, 3),
+                           fmt(r.output_tokens_per_s(), 0),
+                           fmt(r.makespan_s * 1e3, 1),
+                           fmt_x(base_makespan / r.makespan_s, 2)});
+        }
+        std::fputs(table.to_string().c_str(), stdout);
+        std::puts("");
+    }
+    std::puts("paper context: Fig. 16 reports 2.29x mean speedup over "
+              "FP-FP on prefill GeMMs; serving adds the memory-bound "
+              "decode regime,\nwhere compressed activations shrink "
+              "weight re-streaming and the gap widens on TTFT-heavy "
+              "bursts.");
+    std::fputs(run_report.summary().c_str(), stdout);
+    return run_report.failed == 0 ? 0 : 1;
+}

@@ -37,25 +37,6 @@ struct Cell {
     std::string anda1 = "n/a";
 };
 
-std::size_t
-sweep_threads_from_env()
-{
-    const char *env = std::getenv("ANDA_SWEEP_THREADS");
-    if (env == nullptr || *env == '\0') {
-        return 0;  // All cores.
-    }
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0') {
-        std::fprintf(stderr,
-                     "warning: ignoring unparseable "
-                     "ANDA_SWEEP_THREADS=\"%s\" (using all cores)\n",
-                     env);
-        return 0;
-    }
-    return static_cast<std::size_t>(v);
-}
-
 }  // namespace
 
 int
@@ -63,9 +44,8 @@ main()
 {
     using namespace anda;
     ResultCache cache(default_cache_path());
-    SweepOptions opts;
-    opts.threads = sweep_threads_from_env();
-    SweepScheduler sweep(&cache, &ModelRegistry::global(), opts);
+    SweepScheduler sweep(&cache, &ModelRegistry::global(),
+                         SweepOptions::from_env());
 
     const auto &datasets = standard_datasets();
     const auto &zoo = model_zoo();

@@ -2,9 +2,15 @@
 
 namespace anda {
 
+namespace {
+
+/// Shared shape builder: `tokens` activation rows through the four
+/// FP-INT taps of every layer. A prefill pass over `seq` tokens and a
+/// decode step over a `batch` of sequences produce the same GeMM
+/// shapes per token row; only the phase label differs.
 std::vector<GemmOp>
-build_prefill_workload(const ModelConfig &model, std::uint64_t seq,
-                       const PrecisionTuple &tuple)
+build_token_workload(const ModelConfig &model, std::uint64_t tokens,
+                     const PrecisionTuple &tuple, const char *suffix)
 {
     const ModelDims &d = model.real;
     const std::uint64_t dm = static_cast<std::uint64_t>(d.d_model);
@@ -13,14 +19,34 @@ build_prefill_workload(const ModelConfig &model, std::uint64_t seq,
 
     std::vector<GemmOp> ops;
     ops.reserve(static_cast<std::size_t>(d.n_layers) * 4);
+    const std::string qkv = std::string("qkv") + suffix;
+    const std::string o = std::string("o") + suffix;
+    const std::string u = std::string("u") + suffix;
+    const std::string dn = std::string("d") + suffix;
     for (int layer = 0; layer < d.n_layers; ++layer) {
-        ops.push_back({{seq, dm, 3 * dm}, tuple[0], "qkv"});
-        ops.push_back({{seq, dm, dm}, tuple[1], "o"});
+        ops.push_back({{tokens, dm, 3 * dm}, tuple[0], qkv});
+        ops.push_back({{tokens, dm, dm}, tuple[1], o});
         // LLaMA's Au feeds both gate and up projections.
-        ops.push_back({{seq, dm, (llama ? 2 : 1) * ffn}, tuple[2], "u"});
-        ops.push_back({{seq, ffn, dm}, tuple[3], "d"});
+        ops.push_back({{tokens, dm, (llama ? 2 : 1) * ffn}, tuple[2], u});
+        ops.push_back({{tokens, ffn, dm}, tuple[3], dn});
     }
     return ops;
+}
+
+}  // namespace
+
+std::vector<GemmOp>
+build_prefill_workload(const ModelConfig &model, std::uint64_t seq,
+                       const PrecisionTuple &tuple)
+{
+    return build_token_workload(model, seq, tuple, "");
+}
+
+std::vector<GemmOp>
+build_decode_workload(const ModelConfig &model, std::uint64_t batch,
+                      const PrecisionTuple &tuple)
+{
+    return build_token_workload(model, batch, tuple, "-dec");
 }
 
 std::vector<GemmOp>

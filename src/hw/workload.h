@@ -1,9 +1,11 @@
 #pragma once
 
 /// @file
-/// Builds the FP-INT GeMM workload of one model's prefill pass (batch
-/// 1, paper Sec. V-A system evaluation) from the real model dimensions
-/// and a precision tuple.
+/// Builds the FP-INT GeMM workloads of one model from the real model
+/// dimensions and a precision tuple: the prefill pass (batch 1, paper
+/// Sec. V-A system evaluation) and one decode step over a batch of
+/// concurrent sequences (the serving regime, where the GeMMs are
+/// short and memory-bound).
 
 #include <vector>
 
@@ -20,6 +22,17 @@ namespace anda {
 std::vector<GemmOp> build_prefill_workload(const ModelConfig &model,
                                            std::uint64_t seq,
                                            const PrecisionTuple &tuple);
+
+/// GeMM list of one decode step advancing `batch` concurrent
+/// sequences by one token each. Every scheduled sequence contributes
+/// one activation row, so the four FP-INT taps see [batch x k]
+/// GeMMs — the same shapes as a `batch`-token prefill (attention /
+/// KV-cache traffic is not an FP-INT tap and is outside this model),
+/// but in the small-m, memory-bound regime the serving simulator
+/// (src/serve/) spends most of its steps in.
+std::vector<GemmOp> build_decode_workload(const ModelConfig &model,
+                                          std::uint64_t batch,
+                                          const PrecisionTuple &tuple);
 
 /// Convenience: workload at the model's maximum sequence length.
 std::vector<GemmOp> build_max_seq_workload(const ModelConfig &model,

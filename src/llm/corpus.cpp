@@ -86,19 +86,16 @@ perplexity(const Transformer &model, const Corpus &corpus,
                     ? n
                     : (n + workers - 1) / workers;
     }
-    // Consecutive same-length runs of at most `batch` sequences; the
-    // batched path requires equal lengths within one stack.
+    // Consecutive runs of at most `batch` sequences. The ragged
+    // batched path packs mixed lengths into one forward pass, so a
+    // batch never needs to break at a length change; per-sequence
+    // results are partition-invariant (tests/test_ragged.cpp).
     struct Range {
         std::size_t lo, hi;
     };
     std::vector<Range> batches;
     for (std::size_t i = 0; i < n;) {
-        std::size_t j = i + 1;
-        while (j < n && j - i < batch &&
-               corpus.sequences[j].size() ==
-                   corpus.sequences[i].size()) {
-            ++j;
-        }
+        const std::size_t j = std::min(n, i + batch);
         batches.push_back({i, j});
         i = j;
     }

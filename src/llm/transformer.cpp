@@ -269,7 +269,8 @@ Transformer::embed(std::span<const int> tokens,
 void
 Transformer::run_block(std::size_t layer, Matrix &x,
                        const RunOptions &opts, KvCache *kv,
-                       std::size_t pos_offset, std::size_t n_seqs) const
+                       std::size_t pos_offset,
+                       std::span<const std::size_t> seq_lens) const
 {
     const ModelDims &dims = cfg_.sim;
     const LayerWeights &lw = layers_[layer];
@@ -278,9 +279,17 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     const std::size_t heads = static_cast<std::size_t>(dims.n_heads);
     const std::size_t hd = d / heads;
     const bool llama = cfg_.is_llama();
-    assert(n_seqs >= 1 && t_len % n_seqs == 0);
-    assert(kv == nullptr || n_seqs == 1);
-    const std::size_t seq_len = t_len / n_seqs;
+    assert(!seq_lens.empty());
+    assert(kv == nullptr || seq_lens.size() == 1);
+#ifndef NDEBUG
+    {
+        std::size_t total = 0;
+        for (std::size_t len : seq_lens) {
+            total += len;
+        }
+        assert(total == t_len);
+    }
+#endif
 
     // ---- Attention ----
     Matrix a(t_len, d);
@@ -297,21 +306,24 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     Matrix k = matmul_wt(a, pick(lw.wk, lw.wk_dq, opts), opts.threads);
     Matrix v = matmul_wt(a, pick(lw.wv, lw.wv_dq, opts), opts.threads);
     if (llama) {
-        for (std::size_t t = 0; t < t_len; ++t) {
-            // Positions restart at every stacked sequence boundary.
-            const std::size_t pos = pos_offset + t % seq_len;
-            for (std::size_t h = 0; h < heads; ++h) {
-                rope_inplace(q.row(t).subspan(h * hd, hd),
-                             static_cast<int>(pos));
-                rope_inplace(k.row(t).subspan(h * hd, hd),
-                             static_cast<int>(pos));
+        std::size_t off = 0;
+        for (const std::size_t len : seq_lens) {
+            for (std::size_t t = 0; t < len; ++t) {
+                // Positions restart at every packed sequence boundary.
+                const std::size_t pos = pos_offset + t;
+                for (std::size_t h = 0; h < heads; ++h) {
+                    rope_inplace(q.row(off + t).subspan(h * hd, hd),
+                                 static_cast<int>(pos));
+                    rope_inplace(k.row(off + t).subspan(h * hd, hd),
+                                 static_cast<int>(pos));
+                }
             }
+            off += len;
         }
     }
 
     // Rows of k/v each sequence attends over (its own block only, so
-    // stacked sequences never see each other).
-    std::size_t kv_len = seq_len;
+    // packed sequences never see each other).
     const Matrix *k_src = &k;
     const Matrix *v_src = &v;
     if (kv != nullptr) {
@@ -327,24 +339,36 @@ Transformer::run_block(std::size_t layer, Matrix &x,
             std::copy(v.row(t).begin(), v.row(t).end(),
                       vc.row(row).begin());
         }
-        kv_len = pos_offset + t_len;
         k_src = &kc;
         v_src = &vc;
     }
 
     Matrix ctx(t_len, d);
     {
-        Matrix qh(seq_len, hd);
-        Matrix kh(kv_len, hd);
-        Matrix vh(kv_len, hd);
-        Matrix oh(seq_len, hd);
-        for (std::size_t s = 0; s < n_seqs; ++s) {
-            const std::size_t r0 = s * seq_len;
-            // With a cache, k/v rows are cache-absolute; without one,
-            // each sequence's rows sit at its own block offset.
+        // Scratch head views, re-shaped only when the sequence length
+        // (and hence kv_len) changes across the ragged batch.
+        Matrix qh;
+        Matrix kh;
+        Matrix vh;
+        Matrix oh;
+        std::size_t r0 = 0;
+        for (const std::size_t len : seq_lens) {
+            // With a cache, k/v rows are cache-absolute and span the
+            // whole prefix; without one, each sequence's rows sit at
+            // its own block offset.
+            const std::size_t kv_len =
+                kv != nullptr ? pos_offset + len : len;
             const std::size_t kv0 = kv != nullptr ? 0 : r0;
+            if (qh.rows() != len) {
+                qh = Matrix(len, hd);
+                oh = Matrix(len, hd);
+            }
+            if (kh.rows() != kv_len) {
+                kh = Matrix(kv_len, hd);
+                vh = Matrix(kv_len, hd);
+            }
             for (std::size_t h = 0; h < heads; ++h) {
-                for (std::size_t t = 0; t < seq_len; ++t) {
+                for (std::size_t t = 0; t < len; ++t) {
                     const auto src =
                         q.row(r0 + t).subspan(h * hd, hd);
                     std::copy(src.begin(), src.end(),
@@ -360,13 +384,14 @@ Transformer::run_block(std::size_t layer, Matrix &x,
                 }
                 causal_attention_head(qh, kh, vh, kv_len, pos_offset,
                                       oh);
-                for (std::size_t t = 0; t < seq_len; ++t) {
+                for (std::size_t t = 0; t < len; ++t) {
                     const auto dst =
                         ctx.row(r0 + t).subspan(h * hd, hd);
                     std::copy(oh.row(t).begin(), oh.row(t).end(),
                               dst.begin());
                 }
             }
+            r0 += len;
         }
     }
     apply_act_format(ctx, opts.prec.o, opts.threads);  // Ao tap.
@@ -447,27 +472,35 @@ Transformer::final_logits_row(std::span<const float> x,
 
 Matrix
 Transformer::forward_hidden(std::span<const int> tokens_flat,
-                            std::size_t n_seqs,
+                            std::span<const std::size_t> seq_lens,
                             const RunOptions &opts) const
 {
-    if (n_seqs == 0 || tokens_flat.empty()) {
+    if (seq_lens.empty() || tokens_flat.empty()) {
         throw std::invalid_argument("empty token sequence");
     }
-    if (tokens_flat.size() % n_seqs != 0) {
-        throw std::invalid_argument(
-            "stacked token buffer not divisible by sequence count");
+    std::size_t total = 0;
+    for (const std::size_t len : seq_lens) {
+        if (len == 0) {
+            throw std::invalid_argument("empty sequence in batch");
+        }
+        if (len > static_cast<std::size_t>(cfg_.sim.max_seq)) {
+            throw std::invalid_argument("sequence exceeds max_seq");
+        }
+        total += len;
     }
-    const std::size_t t = tokens_flat.size() / n_seqs;
-    if (t > static_cast<std::size_t>(cfg_.sim.max_seq)) {
-        throw std::invalid_argument("sequence exceeds max_seq");
+    if (total != tokens_flat.size()) {
+        throw std::invalid_argument(
+            "packed token buffer does not match sequence lengths");
     }
     Matrix x(tokens_flat.size(),
              static_cast<std::size_t>(cfg_.sim.d_model));
-    for (std::size_t s = 0; s < n_seqs; ++s) {
-        embed_into(tokens_flat.subspan(s * t, t), 0, x, s * t);
+    std::size_t off = 0;
+    for (const std::size_t len : seq_lens) {
+        embed_into(tokens_flat.subspan(off, len), 0, x, off);
+        off += len;
     }
     for (std::size_t l = 0; l < layers_.size(); ++l) {
-        run_block(l, x, opts, nullptr, 0, n_seqs);
+        run_block(l, x, opts, nullptr, 0, seq_lens);
     }
     return x;
 }
@@ -476,7 +509,8 @@ Matrix
 Transformer::forward_logits(std::span<const int> tokens,
                             const RunOptions &opts) const
 {
-    const Matrix x = forward_hidden(tokens, 1, opts);
+    const std::size_t len = tokens.size();
+    const Matrix x = forward_hidden(tokens, {&len, 1}, opts);
     Matrix logits(tokens.size(),
                   static_cast<std::size_t>(cfg_.sim.vocab));
     for (std::size_t t = 0; t < tokens.size(); ++t) {
@@ -487,25 +521,32 @@ Transformer::forward_logits(std::span<const int> tokens,
 
 namespace {
 
-/// Flattens B same-length sequences into one token buffer; throws on
-/// an empty batch or mismatched lengths.
-std::vector<int>
-stack_sequences(std::span<const std::vector<int>> seqs)
+/// Packs B ragged sequences into one flat token buffer plus their
+/// lengths; throws on an empty batch (per-sequence length checks live
+/// in forward_hidden).
+struct PackedBatch {
+    std::vector<int> tokens;
+    std::vector<std::size_t> lens;
+};
+
+PackedBatch
+pack_sequences(std::span<const std::vector<int>> seqs)
 {
     if (seqs.empty()) {
         throw std::invalid_argument("empty sequence batch");
     }
-    const std::size_t t = seqs.front().size();
-    std::vector<int> flat;
-    flat.reserve(seqs.size() * t);
+    PackedBatch packed;
+    packed.lens.reserve(seqs.size());
+    std::size_t total = 0;
     for (const auto &s : seqs) {
-        if (s.size() != t) {
-            throw std::invalid_argument(
-                "batched sequences must share one length");
-        }
-        flat.insert(flat.end(), s.begin(), s.end());
+        total += s.size();
     }
-    return flat;
+    packed.tokens.reserve(total);
+    for (const auto &s : seqs) {
+        packed.lens.push_back(s.size());
+        packed.tokens.insert(packed.tokens.end(), s.begin(), s.end());
+    }
+    return packed;
 }
 
 }  // namespace
@@ -514,8 +555,8 @@ Matrix
 Transformer::forward_logits_batched(
     std::span<const std::vector<int>> seqs, const RunOptions &opts) const
 {
-    const std::vector<int> flat = stack_sequences(seqs);
-    const Matrix x = forward_hidden(flat, seqs.size(), opts);
+    const PackedBatch packed = pack_sequences(seqs);
+    const Matrix x = forward_hidden(packed.tokens, packed.lens, opts);
     Matrix logits(x.rows(), static_cast<std::size_t>(cfg_.sim.vocab));
     for (std::size_t r = 0; r < x.rows(); ++r) {
         final_logits_row(x.row(r), logits.row(r));
@@ -525,25 +566,28 @@ Transformer::forward_logits_batched(
 
 std::vector<double>
 Transformer::nll_stacked(std::span<const int> tokens_flat,
-                         std::size_t n_seqs,
+                         std::span<const std::size_t> seq_lens,
                          const RunOptions &opts) const
 {
-    const std::size_t t_len =
-        n_seqs == 0 ? 0 : tokens_flat.size() / n_seqs;
-    if (t_len < 2) {
-        throw std::invalid_argument("need at least two tokens for NLL");
+    for (const std::size_t len : seq_lens) {
+        if (len < 2) {
+            throw std::invalid_argument(
+                "need at least two tokens for NLL");
+        }
     }
-    const Matrix x = forward_hidden(tokens_flat, n_seqs, opts);
+    const Matrix x = forward_hidden(tokens_flat, seq_lens, opts);
     // Stream the logit head one row at a time: peak memory stays at one
-    // vocab-sized buffer instead of the full [n_seqs*T x vocab] matrix.
+    // vocab-sized buffer instead of the full [sum(T_i) x vocab] matrix.
     std::vector<float> logits(static_cast<std::size_t>(cfg_.sim.vocab));
-    std::vector<double> nll(n_seqs, 0.0);
-    for (std::size_t s = 0; s < n_seqs; ++s) {
-        for (std::size_t t = 0; t + 1 < t_len; ++t) {
-            const std::size_t row = s * t_len + t;
+    std::vector<double> nll(seq_lens.size(), 0.0);
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+        for (std::size_t t = 0; t + 1 < seq_lens[s]; ++t) {
+            const std::size_t row = off + t;
             final_logits_row(x.row(row), logits);
             nll[s] -= log_prob_of(logits, tokens_flat[row + 1]);
         }
+        off += seq_lens[s];
     }
     return nll;
 }
@@ -552,15 +596,16 @@ double
 Transformer::sequence_nll(std::span<const int> tokens,
                           const RunOptions &opts) const
 {
-    return nll_stacked(tokens, 1, opts)[0];
+    const std::size_t len = tokens.size();
+    return nll_stacked(tokens, {&len, 1}, opts)[0];
 }
 
 std::vector<double>
 Transformer::batch_nll(std::span<const std::vector<int>> seqs,
                        const RunOptions &opts) const
 {
-    const std::vector<int> flat = stack_sequences(seqs);
-    return nll_stacked(flat, seqs.size(), opts);
+    const PackedBatch packed = pack_sequences(seqs);
+    return nll_stacked(packed.tokens, packed.lens, opts);
 }
 
 std::vector<int>
@@ -587,9 +632,10 @@ Transformer::sample_sequence(int length, double temperature,
         const int tok = tokens.back();
         Matrix x = embed(std::span<const int>(&tok, 1),
                          static_cast<std::size_t>(pos));
+        const std::size_t one = 1;
         for (std::size_t l = 0; l < layers_.size(); ++l) {
             run_block(l, x, opts, &cache,
-                      static_cast<std::size_t>(pos), 1);
+                      static_cast<std::size_t>(pos), {&one, 1});
         }
         final_logits_row(x.row(0), logits);
         tokens.push_back(

@@ -68,12 +68,14 @@ class Transformer {
     Matrix forward_logits(std::span<const int> tokens,
                           const RunOptions &opts) const;
 
-    /// Batched forward pass over B same-length sequences, stacked into
-    /// one [B*T x d] activation matrix so every GeMM tap runs once per
-    /// layer over all B*T token rows. Attention is masked per sequence
-    /// (block-diagonal), so the result is bit-identical to B separate
-    /// forward_logits calls. Returns logits [B*T x vocab], sequence s
-    /// occupying rows [s*T, (s+1)*T).
+    /// Ragged batched forward pass over B sequences of (possibly)
+    /// different lengths T_0..T_{B-1}, packed into one [sum(T_i) x d]
+    /// activation matrix so every GeMM tap runs once per layer over all
+    /// packed token rows. Attention is masked per sequence
+    /// (block-diagonal) and RoPE/positions restart at every sequence
+    /// boundary, so the result is bit-identical to B separate
+    /// forward_logits calls. Returns logits [sum(T_i) x vocab],
+    /// sequence s occupying rows [T_0+..+T_{s-1}, T_0+..+T_s).
     Matrix
     forward_logits_batched(std::span<const std::vector<int>> seqs,
                            const RunOptions &opts) const;
@@ -85,11 +87,11 @@ class Transformer {
     double sequence_nll(std::span<const int> tokens,
                         const RunOptions &opts) const;
 
-    /// Per-sequence NLL sums of B same-length sequences evaluated in
-    /// one stacked forward pass. Bit-identical to calling sequence_nll
-    /// on each sequence (enforced by tests/test_batched.cpp); like
-    /// sequence_nll it streams logit rows instead of materializing the
-    /// [B*T x vocab] matrix.
+    /// Per-sequence NLL sums of B sequences (mixed lengths allowed)
+    /// evaluated in one packed forward pass. Bit-identical to calling
+    /// sequence_nll on each sequence (enforced by tests/test_batched.cpp
+    /// and tests/test_ragged.cpp); like sequence_nll it streams logit
+    /// rows instead of materializing the [sum(T_i) x vocab] matrix.
     std::vector<double>
     batch_nll(std::span<const std::vector<int>> seqs,
               const RunOptions &opts) const;
@@ -114,14 +116,16 @@ class Transformer {
         Matrix w_up_dq, w_down_dq;
     };
 
-    /// Runs one transformer block over x [n_seqs*T x d] in place; all
-    /// row-wise operations span the stacked rows, attention is
-    /// per-sequence. kv_cache != nullptr enables incremental decoding
-    /// (n_seqs must be 1; see .cpp).
+    /// Runs one transformer block over x [sum(T_i) x d] in place,
+    /// where seq_lens lists the packed per-sequence lengths; all
+    /// row-wise operations span the packed rows, attention is
+    /// per-sequence (block-diagonal) and positions restart at each
+    /// boundary. kv_cache != nullptr enables incremental decoding
+    /// (exactly one sequence; see .cpp).
     struct KvCache;
     void run_block(std::size_t layer, Matrix &x, const RunOptions &opts,
                    KvCache *kv, std::size_t pos_offset,
-                   std::size_t n_seqs) const;
+                   std::span<const std::size_t> seq_lens) const;
 
     const Matrix &pick(const Matrix &full, const Matrix &dq,
                        const RunOptions &opts) const
@@ -133,16 +137,17 @@ class Transformer {
                  std::size_t pos_offset) const;
     void embed_into(std::span<const int> tokens, std::size_t pos_offset,
                     Matrix &x, std::size_t row0) const;
-    /// Runs embedding + all blocks over n_seqs stacked same-length
-    /// sequences (tokens_flat.size() == n_seqs * T); returns the final
-    /// hidden states [n_seqs*T x d] before the logit head.
+    /// Runs embedding + all blocks over the packed ragged token buffer
+    /// (tokens_flat.size() == sum(seq_lens)); returns the final hidden
+    /// states [sum(T_i) x d] before the logit head.
     Matrix forward_hidden(std::span<const int> tokens_flat,
-                          std::size_t n_seqs,
+                          std::span<const std::size_t> seq_lens,
                           const RunOptions &opts) const;
-    /// Streamed per-sequence NLLs over the stacked token buffer.
-    std::vector<double> nll_stacked(std::span<const int> tokens_flat,
-                                    std::size_t n_seqs,
-                                    const RunOptions &opts) const;
+    /// Streamed per-sequence NLLs over the packed token buffer.
+    std::vector<double>
+    nll_stacked(std::span<const int> tokens_flat,
+                std::span<const std::size_t> seq_lens,
+                const RunOptions &opts) const;
     void final_logits_row(std::span<const float> x,
                           std::span<float> out) const;
 

@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "common/parallel.h"
 
 namespace anda {
+
+SweepOptions
+SweepOptions::from_env()
+{
+    SweepOptions opts;
+    const char *env = std::getenv("ANDA_SWEEP_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return opts;  // All cores.
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        std::fprintf(stderr,
+                     "warning: ignoring unparseable "
+                     "ANDA_SWEEP_THREADS=\"%s\" (using all cores)\n",
+                     env);
+        return opts;
+    }
+    opts.threads = static_cast<std::size_t>(v);
+    return opts;
+}
 
 namespace {
 

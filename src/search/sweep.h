@@ -31,6 +31,12 @@ struct SweepOptions {
     /// Worker threads of the job loop: 0 = all cores, 1 = serial (the
     /// pre-scheduler baseline, useful for before/after timing).
     std::size_t threads = 0;
+
+    /// Options honoring the ANDA_SWEEP_THREADS environment variable
+    /// (unset/empty = all cores; unparseable values warn on stderr and
+    /// fall back to all cores). Shared by every scheduler-driven bench
+    /// so they expose one serialization knob.
+    static SweepOptions from_env();
 };
 
 /// Outcome of one job, in enqueue order.

@@ -1,0 +1,54 @@
+#include "serve/request_stream.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace anda {
+
+std::vector<Request>
+generate_requests(const RequestStreamSpec &spec)
+{
+    if (spec.n_requests < 0) {
+        throw std::invalid_argument("negative request count");
+    }
+    if (spec.prompt_min < 1 || spec.prompt_max < spec.prompt_min) {
+        throw std::invalid_argument("bad prompt length bounds");
+    }
+    if (spec.output_min < 1 || spec.output_max < spec.output_min) {
+        throw std::invalid_argument("bad output length bounds");
+    }
+
+    // Independent deterministic streams so changing one knob (say the
+    // arrival rate) never perturbs the sampled lengths.
+    SplitMix64 arrivals(derive_seed(spec.seed, 0x5e21));
+    SplitMix64 lengths(derive_seed(spec.seed, 0x1e57));
+
+    std::vector<Request> requests(
+        static_cast<std::size_t>(spec.n_requests));
+    double t = 0.0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        Request &r = requests[i];
+        r.id = static_cast<int>(i);
+        if (spec.arrival_rate > 0.0) {
+            // Exponential inter-arrival: -ln(1 - u) / rate, with
+            // u in [0, 1) so the argument never hits zero.
+            t += -std::log1p(-arrivals.uniform()) / spec.arrival_rate;
+        }
+        r.arrival_s = t;
+        r.prompt_len =
+            spec.prompt_min +
+            static_cast<int>(lengths.uniform_index(
+                static_cast<std::uint64_t>(spec.prompt_max -
+                                           spec.prompt_min + 1)));
+        r.output_len =
+            spec.output_min +
+            static_cast<int>(lengths.uniform_index(
+                static_cast<std::uint64_t>(spec.output_max -
+                                           spec.output_min + 1)));
+    }
+    return requests;
+}
+
+}  // namespace anda

@@ -1,0 +1,257 @@
+#include "serve/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace anda {
+
+namespace {
+
+/// A request in flight: index into the metrics array plus progress.
+struct Running {
+    std::size_t idx = 0;
+    std::size_t remaining_prefill = 0;
+    std::size_t remaining_output = 0;
+};
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    return values[std::min(values.size() - 1,
+                           rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+double
+ServingReport::output_tokens_per_s() const
+{
+    return makespan_s > 0.0
+               ? static_cast<double>(total_output_tokens) / makespan_s
+               : 0.0;
+}
+
+double
+ServingReport::mean_ttft_s() const
+{
+    if (requests.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const auto &r : requests) {
+        sum += r.ttft_s();
+    }
+    return sum / static_cast<double>(requests.size());
+}
+
+double
+ServingReport::p95_ttft_s() const
+{
+    std::vector<double> ttft;
+    ttft.reserve(requests.size());
+    for (const auto &r : requests) {
+        ttft.push_back(r.ttft_s());
+    }
+    return percentile(std::move(ttft), 0.95);
+}
+
+double
+ServingReport::mean_decode_s_per_token() const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &r : requests) {
+        if (r.output_len > 1) {
+            sum += r.decode_s_per_token();
+            ++n;
+        }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string
+ServingReport::summary() const
+{
+    std::ostringstream out;
+    out.precision(3);
+    out << std::fixed;
+    out << "serving[" << system << " @ " << model << "]: "
+        << requests.size() << " req, " << total_prompt_tokens
+        << " prompt + " << total_output_tokens << " output tok in "
+        << makespan_s * 1e3 << " ms (" << std::setprecision(0)
+        << output_tokens_per_s() << " out tok/s); " << std::setprecision(3)
+        << "TTFT mean " << mean_ttft_s() * 1e3 << " ms / p95 "
+        << p95_ttft_s() * 1e3 << " ms; decode "
+        << mean_decode_s_per_token() * 1e3 << " ms/tok; "
+        << steps.size() << " steps, peak batch " << peak_batch << "\n";
+    return out.str();
+}
+
+std::vector<GemmOp>
+build_step_workload(const ModelConfig &model, std::size_t prefill_tokens,
+                    std::size_t decode_tokens,
+                    const PrecisionTuple &tuple)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(prefill_tokens) + decode_tokens;
+    if (total == 0) {
+        throw std::invalid_argument("empty serving step");
+    }
+    // Continuous batching fuses every scheduled row into one ragged
+    // GeMM per tap per layer (weights stream once for the whole step);
+    // the shapes depend only on the total row count.
+    return prefill_tokens == 0
+               ? build_decode_workload(model, total, tuple)
+               : build_prefill_workload(model, total, tuple);
+}
+
+ServingReport
+simulate_serving(const ModelConfig &model,
+                 const AcceleratorConfig &system, const TechParams &tech,
+                 std::span<const Request> requests,
+                 const ServingOptions &opts)
+{
+    if (requests.empty()) {
+        throw std::invalid_argument("empty request stream");
+    }
+    if (opts.max_batch == 0 || opts.max_step_tokens == 0) {
+        throw std::invalid_argument("zero serving batch or budget");
+    }
+    for (const Request &r : requests) {
+        if (r.prompt_len < 1 || r.output_len < 1) {
+            throw std::invalid_argument("bad request lengths");
+        }
+    }
+
+    ServingReport report;
+    report.model = model.name;
+    report.system = system.name;
+
+    // FCFS admission order: by arrival time, ids breaking ties.
+    std::vector<const Request *> queue;
+    queue.reserve(requests.size());
+    for (const Request &r : requests) {
+        queue.push_back(&r);
+    }
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const Request *a, const Request *b) {
+                         return a->arrival_s != b->arrival_s
+                                    ? a->arrival_s < b->arrival_s
+                                    : a->id < b->id;
+                     });
+
+    report.requests.resize(requests.size());
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        RequestMetrics &m = report.requests[i];
+        m.id = queue[i]->id;
+        m.arrival_s = queue[i]->arrival_s;
+        m.prompt_len = queue[i]->prompt_len;
+        m.output_len = queue[i]->output_len;
+        report.total_prompt_tokens +=
+            static_cast<std::size_t>(m.prompt_len);
+        report.total_output_tokens +=
+            static_cast<std::size_t>(m.output_len);
+    }
+
+    std::vector<Running> running;
+    running.reserve(opts.max_batch);
+    std::size_t next = 0;  // Queue cursor.
+    double now = 0.0;
+
+    while (next < queue.size() || !running.empty()) {
+        // Idle system: jump to the next arrival.
+        if (running.empty() &&
+            report.requests[next].arrival_s > now) {
+            now = report.requests[next].arrival_s;
+        }
+        // Continuous batching: admit every arrived request that fits.
+        while (next < queue.size() && running.size() < opts.max_batch &&
+               report.requests[next].arrival_s <= now) {
+            RequestMetrics &m = report.requests[next];
+            m.admitted_s = now;
+            running.push_back(
+                {next, static_cast<std::size_t>(m.prompt_len),
+                 static_cast<std::size_t>(m.output_len)});
+            ++next;
+        }
+        report.peak_batch = std::max(report.peak_batch, running.size());
+
+        // Schedule the step: one decode token per finished-prefill
+        // request, leftover budget into prefill chunks (FCFS).
+        std::size_t decode_tokens = 0;
+        for (const Running &r : running) {
+            if (r.remaining_prefill == 0) {
+                ++decode_tokens;
+            }
+        }
+        std::size_t budget = opts.max_step_tokens > decode_tokens
+                                 ? opts.max_step_tokens - decode_tokens
+                                 : 0;
+        std::size_t prefill_tokens = 0;
+        std::vector<std::size_t> chunk(running.size(), 0);
+        for (std::size_t i = 0; i < running.size() && budget > 0; ++i) {
+            if (running[i].remaining_prefill > 0) {
+                chunk[i] =
+                    std::min(running[i].remaining_prefill, budget);
+                budget -= chunk[i];
+                prefill_tokens += chunk[i];
+            }
+        }
+
+        const SystemRun run = run_workload(
+            system, tech,
+            build_step_workload(model, prefill_tokens, decode_tokens,
+                                opts.tuple));
+        report.steps.push_back({now, run.cycles, prefill_tokens,
+                                decode_tokens, running.size()});
+        report.total_cycles += run.cycles;
+        now += run.seconds(tech);
+
+        // Advance progress; the step's end timestamps every token it
+        // produced. A prefill that completes emits the first output
+        // token (its logits are already computed), so decode owes the
+        // remaining output_len - 1 tokens.
+        for (std::size_t i = 0; i < running.size(); ++i) {
+            Running &r = running[i];
+            RequestMetrics &m = report.requests[r.idx];
+            if (chunk[i] > 0) {
+                r.remaining_prefill -= chunk[i];
+                if (r.remaining_prefill == 0) {
+                    m.first_token_s = now;
+                    --r.remaining_output;
+                }
+            } else if (r.remaining_prefill == 0) {
+                --r.remaining_output;
+            }
+            if (r.remaining_prefill == 0 && r.remaining_output == 0) {
+                m.finish_s = now;
+            }
+        }
+        running.erase(
+            std::remove_if(running.begin(), running.end(),
+                           [](const Running &r) {
+                               return r.remaining_prefill == 0 &&
+                                      r.remaining_output == 0;
+                           }),
+            running.end());
+    }
+
+    report.makespan_s = now;
+    // Hand the metrics back in request-id order.
+    std::sort(report.requests.begin(), report.requests.end(),
+              [](const RequestMetrics &a, const RequestMetrics &b) {
+                  return a.id < b.id;
+              });
+    return report;
+}
+
+}  // namespace anda

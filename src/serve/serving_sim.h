@@ -1,0 +1,120 @@
+#pragma once
+
+/// @file
+/// Continuous-batching serving simulator on top of the hw perf model.
+///
+/// Plays a request stream through an iteration-level scheduler in the
+/// vLLM/Orca style: every step the running batch admits newly-arrived
+/// requests (FCFS, up to max_batch), advances each decoding request by
+/// one token, and spends the remaining token budget on prefill chunks.
+/// All rows scheduled in one step share one fused ragged GeMM per tap
+/// per layer — exactly the packing Transformer::batch_nll performs on
+/// the accuracy substrate — so the step cost comes from one
+/// run_workload() call over model-shaped FP-INT GeMMs at the step's
+/// total token count (build_prefill_workload / build_decode_workload).
+/// The report carries per-request TTFT / decode latency and aggregate
+/// throughput, plus a per-step log so tests can replay and cross-check
+/// every cost and token-conservation invariant bit-for-bit.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/workload.h"
+#include "serve/request_stream.h"
+
+namespace anda {
+
+/// Scheduling knobs of the continuous-batching loop.
+struct ServingOptions {
+    /// Maximum concurrent in-flight requests (batch slots).
+    std::size_t max_batch = 8;
+    /// Token budget of one fused step. Decode tokens (one per running
+    /// decoder) are always scheduled; leftover budget feeds prefill
+    /// chunks, so one step carries at most
+    /// max(max_step_tokens, max_batch) rows.
+    std::size_t max_step_tokens = 256;
+    /// Activation mantissas of the four FP-INT taps ({16,16,16,16}
+    /// for FP16-activation systems).
+    PrecisionTuple tuple{16, 16, 16, 16};
+};
+
+/// Timeline of one request through the scheduler.
+struct RequestMetrics {
+    int id = 0;
+    double arrival_s = 0.0;
+    int prompt_len = 0;
+    int output_len = 0;
+    /// When the request entered the running batch (>= arrival_s).
+    double admitted_s = 0.0;
+    /// End of the step that completed the prefill and emitted the
+    /// first output token.
+    double first_token_s = 0.0;
+    /// End of the step that emitted the last output token.
+    double finish_s = 0.0;
+
+    double ttft_s() const { return first_token_s - arrival_s; }
+    /// Mean inter-token latency of the decode phase (0 when the
+    /// request generated a single token).
+    double decode_s_per_token() const
+    {
+        return output_len > 1
+                   ? (finish_s - first_token_s) /
+                         static_cast<double>(output_len - 1)
+                   : 0.0;
+    }
+};
+
+/// One scheduler step (the replay/validation record).
+struct ServingStep {
+    double start_s = 0.0;
+    std::uint64_t cycles = 0;
+    std::size_t prefill_tokens = 0;
+    std::size_t decode_tokens = 0;
+    /// Requests in the batch while this step ran.
+    std::size_t running = 0;
+};
+
+/// Outcome of one simulated serving run.
+struct ServingReport {
+    std::string model;
+    std::string system;
+    std::vector<RequestMetrics> requests;  ///< In request-id order.
+    std::vector<ServingStep> steps;
+    std::uint64_t total_cycles = 0;
+    double makespan_s = 0.0;  ///< End of the last step.
+    std::size_t total_prompt_tokens = 0;
+    std::size_t total_output_tokens = 0;
+    std::size_t peak_batch = 0;
+
+    /// Generated tokens per second over the makespan.
+    double output_tokens_per_s() const;
+    double mean_ttft_s() const;
+    double p95_ttft_s() const;
+    /// Mean decode inter-token latency across multi-token requests.
+    double mean_decode_s_per_token() const;
+    /// One-line human-readable summary for logs and CI artifacts.
+    std::string summary() const;
+};
+
+/// The fused FP-INT GeMM workload of one scheduler step carrying
+/// `prefill_tokens` prompt rows and `decode_tokens` single-token
+/// decode rows (continuous batching packs both through the same taps;
+/// a pure-decode step is exactly build_decode_workload).
+std::vector<GemmOp> build_step_workload(const ModelConfig &model,
+                                        std::size_t prefill_tokens,
+                                        std::size_t decode_tokens,
+                                        const PrecisionTuple &tuple);
+
+/// Simulates serving `requests` (any order; scheduled FCFS by arrival
+/// time) on one accelerator configuration. Deterministic in its
+/// arguments. Throws std::invalid_argument on an empty stream or
+/// zero batch/budget options.
+ServingReport simulate_serving(const ModelConfig &model,
+                               const AcceleratorConfig &system,
+                               const TechParams &tech,
+                               std::span<const Request> requests,
+                               const ServingOptions &opts = {});
+
+}  // namespace anda

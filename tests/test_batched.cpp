@@ -110,8 +110,12 @@ TEST_F(BatchedTest, RejectsBadBatches)
     std::vector<std::vector<int>> empty;
     EXPECT_THROW(model().batch_nll(empty, opts),
                  std::invalid_argument);
-    std::vector<std::vector<int>> ragged = {{0, 1, 2}, {0, 1}};
-    EXPECT_THROW(model().batch_nll(ragged, opts),
+    // Mixed lengths are legal since the ragged generalization (see
+    // tests/test_ragged.cpp); an empty sequence inside a batch is not.
+    std::vector<std::vector<int>> with_empty = {{0, 1, 2}, {}};
+    EXPECT_THROW(model().batch_nll(with_empty, opts),
+                 std::invalid_argument);
+    EXPECT_THROW(model().forward_logits_batched(with_empty, opts),
                  std::invalid_argument);
     std::vector<std::vector<int>> short_seqs = {{0}, {1}};
     EXPECT_THROW(model().batch_nll(short_seqs, opts),
@@ -144,8 +148,8 @@ TEST_F(BatchedTest, PerplexityInvariantToBatchAndThreads)
 
 TEST_F(BatchedTest, MixedLengthCorpusStillEvaluates)
 {
-    // The batch partitioner must split length changes into separate
-    // stacks; the result still matches the per-sequence sum.
+    // The batch partitioner packs mixed lengths into one ragged stack;
+    // the result still matches the per-sequence sum.
     Corpus corpus;
     corpus.name = "mixed";
     corpus.sequences = sequences(3, 8);

@@ -174,6 +174,120 @@ TEST(CycleSim, MatchesClosedFormWithinTolerance)
     }
 }
 
+TEST(Workload, DecodeStructureMatchesPrefillShapes)
+{
+    // One decode step over a batch of B sequences puts B activation
+    // rows through the same four FP-INT taps as a B-token prefill;
+    // only the phase labels differ.
+    const auto &m = find_model("llama-7b");
+    const PrecisionTuple tuple{9, 8, 8, 7};
+    const auto dec = build_decode_workload(m, 16, tuple);
+    const auto pre = build_prefill_workload(m, 16, tuple);
+    ASSERT_EQ(dec.size(), pre.size());
+    ASSERT_EQ(dec.size(),
+              static_cast<std::size_t>(m.real.n_layers) * 4);
+    for (std::size_t i = 0; i < dec.size(); ++i) {
+        EXPECT_EQ(dec[i].shape.tokens, 16u);
+        EXPECT_EQ(dec[i].shape.k, pre[i].shape.k);
+        EXPECT_EQ(dec[i].shape.n, pre[i].shape.n);
+        EXPECT_EQ(dec[i].act_mantissa, pre[i].act_mantissa);
+        EXPECT_EQ(dec[i].label, pre[i].label + "-dec");
+    }
+    EXPECT_EQ(dec[0].label, "qkv-dec");
+    EXPECT_EQ(dec[1].label, "o-dec");
+}
+
+TEST(CycleSim, MatchesClosedFormOnDecodeWorkloads)
+{
+    // The serving regime: decode batches put 1..16 token rows through
+    // model-shaped GeMMs, which are DRAM-bound on every system. The
+    // event simulation must track the closed-form model from above
+    // within the pipeline epilogue plus a sub-percent scheduling slack.
+    const auto &tech = tech16();
+    const auto &model = find_model("llama-13b");
+    for (const std::uint64_t batch : {1ull, 4ull, 16ull}) {
+        const auto ops = build_decode_workload(model, batch,
+                                               {8, 7, 7, 6});
+        for (const auto &cfg : system_configs()) {
+            // One op per distinct shape is enough (layers repeat).
+            for (std::size_t i = 0; i < 4; ++i) {
+                const auto cf = analyze_gemm(cfg, tech, ops[i].shape,
+                                             ops[i].act_mantissa);
+                const auto cs = simulate_gemm(cfg, tech, ops[i].shape,
+                                              ops[i].act_mantissa);
+                EXPECT_GE(cs.cycles, cf.total_cycles)
+                    << cfg.name << " batch=" << batch << " op=" << i;
+                EXPECT_LE(cs.cycles,
+                          cf.total_cycles + 64 +
+                              cf.total_cycles / 250)
+                    << cfg.name << " batch=" << batch << " op=" << i;
+                EXPECT_EQ(cs.compute_busy, cf.compute_cycles)
+                    << cfg.name;
+            }
+        }
+    }
+}
+
+TEST(CycleSim, MatchesClosedFormOnLongContextPrefill)
+{
+    // Long-context prefill at the models' maximum sequence lengths
+    // (2048 / 4096 tokens with real k/n dims): the compute-bound
+    // regime, where agreement must be essentially exact.
+    const auto &tech = tech16();
+    for (const char *name : {"opt-13b", "llama2-13b"}) {
+        const auto &model = find_model(name);
+        const auto ops = build_max_seq_workload(model, {9, 8, 8, 7});
+        for (const auto &cfg : system_configs()) {
+            for (std::size_t i = 0; i < 4; ++i) {
+                const auto cf = analyze_gemm(cfg, tech, ops[i].shape,
+                                             ops[i].act_mantissa);
+                const auto cs = simulate_gemm(cfg, tech, ops[i].shape,
+                                              ops[i].act_mantissa);
+                const double ratio =
+                    static_cast<double>(cs.cycles) /
+                    static_cast<double>(cf.total_cycles);
+                EXPECT_GE(ratio, 1.0) << cfg.name << " " << name;
+                EXPECT_LT(ratio, 1.001) << cfg.name << " " << name;
+                EXPECT_EQ(cs.compute_busy, cf.compute_cycles)
+                    << cfg.name;
+            }
+        }
+    }
+}
+
+TEST(CycleSim, DegenerateShapesStayWithinPipelineConstants)
+{
+    // seq=1, one-group reductions, trailing partial groups, and
+    // sub-tile outputs: here the fixed pipeline constants (serialized
+    // first transfers, BPC drain of 3+m cycles) dominate, so the
+    // cross-check bounds the absolute gap instead of the ratio.
+    const auto &tech = tech16();
+    const std::vector<GemmShape> shapes = {
+        {1, 1, 1},     // Minimal everything.
+        {1, 64, 16},   // One token, one group, one tile.
+        {17, 64, 16},  // Trailing partial token tile.
+        {16, 65, 17},  // Trailing partial k-group and out tile.
+        {33, 100, 3},  // Nothing aligned.
+    };
+    for (const auto &cfg : system_configs()) {
+        for (const auto &s : shapes) {
+            for (int m : {4, 8, 13, 16}) {
+                const auto cf = analyze_gemm(cfg, tech, s, m);
+                const auto cs = simulate_gemm(cfg, tech, s, m);
+                EXPECT_GE(cs.cycles, cf.total_cycles)
+                    << cfg.name << " " << s.tokens << "x" << s.k << "x"
+                    << s.n << " m=" << m;
+                EXPECT_LE(cs.cycles, cf.total_cycles + 48)
+                    << cfg.name << " " << s.tokens << "x" << s.k << "x"
+                    << s.n << " m=" << m;
+                EXPECT_EQ(cs.compute_busy, cf.compute_cycles)
+                    << cfg.name;
+                EXPECT_GT(cs.tile_passes, 0u);
+            }
+        }
+    }
+}
+
 TEST(Area, AndaSmallerThanFpFpSystem)
 {
     const double anda = system_area_mm2(find_system("anda"));

@@ -8,6 +8,7 @@
 
 #include "common/result_cache.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "format/compressor.h"
 #include "hw/cycle_sim.h"
 #include "hw/perf_model.h"
@@ -179,6 +180,150 @@ TEST(Integration, SweepSchedulerMatchesDirectHarnesses)
                   direct.uniform_bfp_ppl(Split::kValidation, 64, 14))
             << models[i]->name;
     }
+}
+
+namespace {
+
+ModelConfig
+mini_model(const std::string &name, std::uint64_t seed)
+{
+    ModelConfig cfg = opt_125m();
+    cfg.name = name;
+    cfg.seed = seed;
+    cfg.sim.d_model = 64;
+    cfg.sim.n_layers = 1;
+    cfg.sim.n_heads = 2;
+    cfg.sim.d_ffn = 128;
+    cfg.sim.vocab = 64;
+    cfg.sim.max_seq = 16;
+    return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, RewiredFig6TableIsDiffIdenticalToSerialLoop)
+{
+    // bench_fig6_model_sensitivity now builds its table through the
+    // sweep scheduler; at tiny scale, the scheduler-built table must
+    // render diff-identical to the original serial harness loop.
+    const std::vector<ModelConfig> zoo = {mini_model("mini-a", 1),
+                                          mini_model("mini-b", 2)};
+    const DatasetSpec ds{"mini-fig6", 1.0, 808, 3, 8};
+    const std::vector<int> mantissas = {8, 6, 4};
+
+    const auto build = [&](auto fill_rows) {
+        std::vector<std::vector<std::string>> rows(zoo.size());
+        fill_rows(rows);
+        Table table({"model", "M8", "M6", "M4"});
+        table.set_title("mini fig6");
+        for (std::size_t m = 0; m < zoo.size(); ++m) {
+            std::vector<std::string> row = {zoo[m].name};
+            row.insert(row.end(), rows[m].begin(), rows[m].end());
+            table.add_row(row);
+        }
+        return table.to_string();
+    };
+
+    const std::string serial =
+        build([&](std::vector<std::vector<std::string>> &rows) {
+            for (std::size_t m = 0; m < zoo.size(); ++m) {
+                SearchHarness h(zoo[m], ds, nullptr, nullptr);
+                const double base =
+                    h.baseline_ppl(Split::kValidation);
+                for (int mant : mantissas) {
+                    const double ppl = h.uniform_bfp_ppl(
+                        Split::kValidation, 64, mant);
+                    rows[m].push_back(fmt(
+                        100.0 * (1.0 - accuracy_loss(ppl, base)), 2));
+                }
+            }
+        });
+
+    const std::string scheduled =
+        build([&](std::vector<std::vector<std::string>> &rows) {
+            ResultCache cache("");
+            ModelRegistry registry;
+            SweepScheduler sweep(&cache, &registry);
+            for (std::size_t m = 0; m < zoo.size(); ++m) {
+                std::vector<std::string> *row = &rows[m];
+                sweep.add(zoo[m], ds, "fig6-row",
+                          [row, &mantissas](SearchHarness &h) {
+                              const double base = h.baseline_ppl(
+                                  Split::kValidation);
+                              for (int mant : mantissas) {
+                                  const double ppl = h.uniform_bfp_ppl(
+                                      Split::kValidation, 64, mant);
+                                  row->push_back(
+                                      fmt(100.0 *
+                                              (1.0 -
+                                               accuracy_loss(ppl,
+                                                             base)),
+                                          2));
+                              }
+                          });
+            }
+            const SweepReport report = sweep.run();
+            EXPECT_EQ(report.failed, 0u);
+        });
+
+    EXPECT_EQ(scheduled, serial);
+}
+
+TEST(Integration, RewiredFig14TableIsDiffIdenticalToSerialLoop)
+{
+    // Same property for bench_fig14_combinations' search cells.
+    const std::vector<ModelConfig> zoo = {mini_model("mini-c", 3),
+                                          mini_model("mini-d", 4)};
+    const std::vector<DatasetSpec> datasets = {
+        {"mini-14a", 1.0, 909, 3, 8}, {"mini-14b", 1.0, 910, 3, 8}};
+    const double delta = 0.01;
+
+    const auto build =
+        [&](const std::vector<std::vector<std::string>> &cells) {
+            Table table({"model", datasets[0].name, datasets[1].name});
+            table.set_title("mini fig14");
+            for (std::size_t m = 0; m < zoo.size(); ++m) {
+                std::vector<std::string> row = {zoo[m].name};
+                row.insert(row.end(), cells[m].begin(),
+                           cells[m].end());
+                table.add_row(row);
+            }
+            return table.to_string();
+        };
+
+    std::vector<std::vector<std::string>> serial_cells(
+        zoo.size(), std::vector<std::string>(datasets.size()));
+    for (std::size_t m = 0; m < zoo.size(); ++m) {
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            SearchHarness h(zoo[m], datasets[d], nullptr, nullptr);
+            const SearchResult res = h.search(delta, 8);
+            serial_cells[m][d] =
+                res.best ? to_string(*res.best) : "none";
+        }
+    }
+
+    std::vector<std::vector<std::string>> sched_cells(
+        zoo.size(), std::vector<std::string>(datasets.size()));
+    ResultCache cache("");
+    ModelRegistry registry;
+    SweepScheduler sweep(&cache, &registry);
+    for (std::size_t m = 0; m < zoo.size(); ++m) {
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            std::string *out = &sched_cells[m][d];
+            sweep.add(zoo[m], datasets[d], "fig14",
+                      [out, delta](SearchHarness &h) {
+                          const SearchResult res = h.search(delta, 8);
+                          *out = res.best ? to_string(*res.best)
+                                          : "none";
+                      });
+        }
+    }
+    const SweepReport report = sweep.run();
+    EXPECT_EQ(report.failed, 0u);
+    // Each model constructed once despite two datasets.
+    EXPECT_EQ(report.models_constructed, zoo.size());
+
+    EXPECT_EQ(build(sched_cells), build(serial_cells));
 }
 
 TEST(Integration, TighterToleranceCostsMoreOnRealSubstrate)

@@ -1,0 +1,257 @@
+// Property-style tests of the ragged (mixed-length) batched
+// evaluation path: randomized length mixes must produce NLLs and
+// logits bit-identical to the per-sequence path (and therefore to the
+// PR 3 equal-length path, which is the all-equal special case),
+// across families (OPT learned positions vs LLaMA RoPE restarts) and
+// activation formats. Also covers the degenerate shapes: length-1
+// sequences, all-equal batches, single-sequence batches, and the
+// empty-batch error, plus partition invariance of perplexity() over a
+// mixed-length corpus.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "llm/corpus.h"
+#include "llm/transformer.h"
+
+namespace anda {
+namespace {
+
+ModelConfig
+tiny_config(const std::string &name, Family family)
+{
+    ModelConfig cfg =
+        family == Family::kOpt ? opt_125m() : find_model("llama-7b");
+    cfg.name = name;
+    cfg.seed = 77;
+    cfg.sim.d_model = 64;
+    cfg.sim.n_layers = 2;
+    cfg.sim.n_heads = 2;
+    cfg.sim.d_ffn = 128;
+    cfg.sim.vocab = 96;
+    cfg.sim.max_seq = 48;
+    return cfg;
+}
+
+class RaggedTest : public ::testing::Test {
+  protected:
+    static const Transformer &opt()
+    {
+        static const Transformer m(tiny_config("ragged-opt", Family::kOpt));
+        return m;
+    }
+    static const Transformer &llama()
+    {
+        static const Transformer m(
+            tiny_config("ragged-llama", Family::kLlama));
+        return m;
+    }
+
+    /// Deterministic token sequence of one length.
+    static std::vector<int> sequence(const Transformer &m,
+                                     SplitMix64 &rng, std::size_t len)
+    {
+        std::vector<int> s(len);
+        for (auto &t : s) {
+            t = static_cast<int>(rng.uniform_index(
+                static_cast<std::uint64_t>(m.dims().vocab)));
+        }
+        return s;
+    }
+
+    /// A randomized ragged batch: `count` sequences with lengths drawn
+    /// from [min_len, max_len].
+    static std::vector<std::vector<int>>
+    ragged_batch(const Transformer &m, SplitMix64 &rng,
+                 std::size_t count, std::size_t min_len,
+                 std::size_t max_len)
+    {
+        std::vector<std::vector<int>> seqs(count);
+        for (auto &s : seqs) {
+            const std::size_t len =
+                min_len + rng.uniform_index(max_len - min_len + 1);
+            s = sequence(m, rng, len);
+        }
+        return seqs;
+    }
+
+    static std::vector<RunOptions> tap_formats()
+    {
+        RunOptions fp16;  // The W4A16 baseline.
+        RunOptions fp_weights;
+        fp_weights.quantized_weights = false;
+        RunOptions bfp;
+        bfp.prec = PrecisionConfig::uniform_bfp(64, 5);
+        RunOptions anda_tuple;
+        anda_tuple.prec = PrecisionConfig::anda({8, 7, 6, 5});
+        return {fp16, fp_weights, bfp, anda_tuple};
+    }
+
+    static void expect_nll_parity(const Transformer &m,
+                                  std::span<const std::vector<int>> seqs,
+                                  const RunOptions &opts,
+                                  const std::string &what)
+    {
+        const std::vector<double> batched = m.batch_nll(seqs, opts);
+        ASSERT_EQ(batched.size(), seqs.size()) << what;
+        for (std::size_t s = 0; s < seqs.size(); ++s) {
+            EXPECT_EQ(batched[s], m.sequence_nll(seqs[s], opts))
+                << what << " seq=" << s
+                << " len=" << seqs[s].size();
+        }
+    }
+};
+
+TEST_F(RaggedTest, RandomizedMixedLengthsMatchPerSequenceBitExactly)
+{
+    SplitMix64 rng(20260729);
+    for (const Transformer *m : {&opt(), &llama()}) {
+        for (int trial = 0; trial < 6; ++trial) {
+            const std::size_t count = 2 + rng.uniform_index(6);
+            const auto seqs = ragged_batch(*m, rng, count, 2, 24);
+            expect_nll_parity(*m, seqs, RunOptions{},
+                              m->config().name + " trial " +
+                                  std::to_string(trial));
+        }
+    }
+}
+
+TEST_F(RaggedTest, MixedLengthsAcrossActivationFormats)
+{
+    SplitMix64 rng(424242);
+    const auto seqs = ragged_batch(llama(), rng, 5, 2, 20);
+    for (const RunOptions &opts : tap_formats()) {
+        expect_nll_parity(llama(), seqs, opts, "format");
+    }
+}
+
+TEST_F(RaggedTest, AllEqualLengthsAreTheEqualLengthPath)
+{
+    // The all-equal mix must reproduce the PR 3 equal-length batched
+    // path (same packed rows), which in turn equals per-sequence.
+    SplitMix64 rng(99);
+    for (const Transformer *m : {&opt(), &llama()}) {
+        std::vector<std::vector<int>> seqs(4);
+        for (auto &s : seqs) {
+            s = sequence(*m, rng, 11);
+        }
+        expect_nll_parity(*m, seqs, RunOptions{}, "all-equal");
+    }
+}
+
+TEST_F(RaggedTest, SingleSequenceBatch)
+{
+    SplitMix64 rng(7);
+    const std::vector<std::vector<int>> seqs = {
+        sequence(llama(), rng, 17)};
+    expect_nll_parity(llama(), seqs, RunOptions{}, "single");
+}
+
+TEST_F(RaggedTest, ForwardLogitsRaggedMatchesUnbatched)
+{
+    // Logits parity, including a length-1 sequence (legal for the
+    // forward pass; NLL needs two tokens).
+    SplitMix64 rng(1234);
+    for (const Transformer *m : {&opt(), &llama()}) {
+        std::vector<std::vector<int>> seqs = {
+            sequence(*m, rng, 6), sequence(*m, rng, 1),
+            sequence(*m, rng, 13), sequence(*m, rng, 2)};
+        RunOptions opts;
+        const Matrix batched = m->forward_logits_batched(seqs, opts);
+        std::size_t total = 0;
+        for (const auto &s : seqs) {
+            total += s.size();
+        }
+        ASSERT_EQ(batched.rows(), total);
+        std::size_t off = 0;
+        for (std::size_t s = 0; s < seqs.size(); ++s) {
+            const Matrix single = m->forward_logits(seqs[s], opts);
+            for (std::size_t t = 0; t < seqs[s].size(); ++t) {
+                for (std::size_t v = 0; v < single.cols(); ++v) {
+                    ASSERT_EQ(batched(off + t, v), single(t, v))
+                        << m->config().name << " s=" << s << " t=" << t
+                        << " v=" << v;
+                }
+            }
+            off += seqs[s].size();
+        }
+    }
+}
+
+TEST_F(RaggedTest, RejectsDegenerateBatches)
+{
+    RunOptions opts;
+    const std::vector<std::vector<int>> empty;
+    EXPECT_THROW(llama().batch_nll(empty, opts), std::invalid_argument);
+    EXPECT_THROW(llama().forward_logits_batched(empty, opts),
+                 std::invalid_argument);
+    // An empty sequence inside a batch.
+    const std::vector<std::vector<int>> with_empty = {{0, 1}, {}};
+    EXPECT_THROW(llama().batch_nll(with_empty, opts),
+                 std::invalid_argument);
+    EXPECT_THROW(llama().forward_logits_batched(with_empty, opts),
+                 std::invalid_argument);
+    // A length-1 sequence has no predicted token: NLL must throw even
+    // though the forward pass accepts it.
+    const std::vector<std::vector<int>> len1 = {{0, 1, 2}, {3}};
+    EXPECT_THROW(llama().batch_nll(len1, opts), std::invalid_argument);
+    EXPECT_NO_THROW(llama().forward_logits_batched(len1, opts));
+    // One over-long sequence poisons the whole batch.
+    std::vector<std::vector<int>> too_long = {
+        {0, 1, 2},
+        std::vector<int>(
+            static_cast<std::size_t>(llama().dims().max_seq) + 1, 0)};
+    EXPECT_THROW(llama().batch_nll(too_long, opts),
+                 std::invalid_argument);
+}
+
+TEST_F(RaggedTest, BatchNllInvariantToPackingOrder)
+{
+    // Per-sequence results do not depend on where a sequence sits in
+    // the packed batch.
+    SplitMix64 rng(31337);
+    const auto seqs = ragged_batch(llama(), rng, 5, 2, 16);
+    RunOptions opts;
+    const std::vector<double> forward = llama().batch_nll(seqs, opts);
+    std::vector<std::vector<int>> reversed(seqs.rbegin(), seqs.rend());
+    const std::vector<double> backward =
+        llama().batch_nll(reversed, opts);
+    for (std::size_t s = 0; s < seqs.size(); ++s) {
+        EXPECT_EQ(forward[s], backward[seqs.size() - 1 - s]);
+    }
+}
+
+TEST_F(RaggedTest, PerplexityInvariantToPartitioning)
+{
+    // A mixed-length corpus evaluated at every batch size (including
+    // batches that span length changes) gives one bit-identical
+    // perplexity.
+    SplitMix64 rng(555);
+    Corpus corpus;
+    corpus.name = "ragged-mix";
+    corpus.sequences = ragged_batch(llama(), rng, 7, 2, 20);
+    RunOptions opts;
+    double total = 0.0;
+    for (const auto &s : corpus.sequences) {
+        total += llama().sequence_nll(s, opts);
+    }
+    const double want = std::exp(
+        total / static_cast<double>(corpus.predicted_tokens()));
+    for (const std::size_t batch : {1u, 2u, 3u, 5u, 7u, 100u}) {
+        EXPECT_EQ(perplexity(llama(), corpus, opts,
+                             EvalOptions{0, batch}),
+                  want)
+            << "batch=" << batch;
+        EXPECT_EQ(perplexity(llama(), corpus, opts,
+                             EvalOptions{1, batch}),
+                  want)
+            << "serial batch=" << batch;
+    }
+}
+
+}  // namespace
+}  // namespace anda

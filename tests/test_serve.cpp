@@ -1,0 +1,265 @@
+// Tests of the serving layer: deterministic request streams, the
+// continuous-batching scheduler's invariants (admission caps, token
+// budgets, conservation, replayable step costs), and the latency /
+// throughput report.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "serve/serving_sim.h"
+
+namespace anda {
+namespace {
+
+RequestStreamSpec
+small_spec()
+{
+    RequestStreamSpec spec;
+    spec.seed = 4242;
+    spec.n_requests = 24;
+    spec.arrival_rate = 2000.0;  // Busy: arrivals overlap service.
+    spec.prompt_min = 4;
+    spec.prompt_max = 96;
+    spec.output_min = 2;
+    spec.output_max = 24;
+    return spec;
+}
+
+TEST(RequestStream, DeterministicSortedAndBounded)
+{
+    const RequestStreamSpec spec = small_spec();
+    const auto a = generate_requests(spec);
+    const auto b = generate_requests(spec);
+    ASSERT_EQ(a.size(), static_cast<std::size_t>(spec.n_requests));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, static_cast<int>(i));
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+        EXPECT_EQ(a[i].output_len, b[i].output_len);
+        EXPECT_GE(a[i].prompt_len, spec.prompt_min);
+        EXPECT_LE(a[i].prompt_len, spec.prompt_max);
+        EXPECT_GE(a[i].output_len, spec.output_min);
+        EXPECT_LE(a[i].output_len, spec.output_max);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+        }
+    }
+    // Different seeds give different traces.
+    RequestStreamSpec other = spec;
+    other.seed = 4243;
+    const auto c = generate_requests(other);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        any_diff = any_diff || c[i].prompt_len != a[i].prompt_len ||
+                   c[i].arrival_s != a[i].arrival_s;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RequestStream, OfflineRegimeAndValidation)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    for (const auto &r : generate_requests(spec)) {
+        EXPECT_EQ(r.arrival_s, 0.0);
+    }
+    RequestStreamSpec bad = small_spec();
+    bad.prompt_min = 0;
+    EXPECT_THROW(generate_requests(bad), std::invalid_argument);
+    bad = small_spec();
+    bad.output_max = bad.output_min - 1;
+    EXPECT_THROW(generate_requests(bad), std::invalid_argument);
+    bad = small_spec();
+    bad.n_requests = -1;
+    EXPECT_THROW(generate_requests(bad), std::invalid_argument);
+}
+
+TEST(StepWorkload, FusesPhasesAndDegeneratesToDecode)
+{
+    const auto &model = find_model("llama-7b");
+    const PrecisionTuple tuple{8, 7, 7, 6};
+    // Pure decode steps are exactly the decode workload.
+    const auto pure = build_step_workload(model, 0, 5, tuple);
+    const auto dec = build_decode_workload(model, 5, tuple);
+    ASSERT_EQ(pure.size(), dec.size());
+    for (std::size_t i = 0; i < pure.size(); ++i) {
+        EXPECT_EQ(pure[i].shape.tokens, dec[i].shape.tokens);
+        EXPECT_EQ(pure[i].label, dec[i].label);
+    }
+    // Mixed steps fuse all rows into one GeMM per tap.
+    const auto mixed = build_step_workload(model, 30, 5, tuple);
+    EXPECT_EQ(mixed[0].shape.tokens, 35u);
+    EXPECT_THROW(build_step_workload(model, 0, 0, tuple),
+                 std::invalid_argument);
+}
+
+class ServingSimTest : public ::testing::Test {
+  protected:
+    static ServingReport run(const ServingOptions &opts,
+                             const RequestStreamSpec &spec,
+                             const std::string &system = "anda")
+    {
+        const auto requests = generate_requests(spec);
+        return simulate_serving(find_model("llama-7b"),
+                                find_system(system), tech16(), requests,
+                                opts);
+    }
+};
+
+TEST_F(ServingSimTest, AllRequestsFinishWithOrderedTimestamps)
+{
+    ServingOptions opts;
+    opts.max_batch = 4;
+    opts.max_step_tokens = 64;
+    opts.tuple = {8, 7, 7, 6};
+    const ServingReport report = run(opts, small_spec());
+    ASSERT_EQ(report.requests.size(), 24u);
+    for (const auto &m : report.requests) {
+        EXPECT_GE(m.admitted_s, m.arrival_s) << "id=" << m.id;
+        EXPECT_GT(m.first_token_s, m.admitted_s) << "id=" << m.id;
+        EXPECT_GE(m.finish_s, m.first_token_s) << "id=" << m.id;
+        EXPECT_LE(m.finish_s, report.makespan_s + 1e-12)
+            << "id=" << m.id;
+        EXPECT_GT(m.ttft_s(), 0.0);
+        if (m.output_len > 1) {
+            EXPECT_GT(m.decode_s_per_token(), 0.0);
+        }
+    }
+    EXPECT_LE(report.peak_batch, opts.max_batch);
+    EXPECT_GT(report.output_tokens_per_s(), 0.0);
+    EXPECT_GE(report.p95_ttft_s(), report.mean_ttft_s() * 0.5);
+    EXPECT_FALSE(report.summary().empty());
+}
+
+TEST_F(ServingSimTest, StepLogConservesTokensAndCycles)
+{
+    ServingOptions opts;
+    opts.max_batch = 6;
+    opts.max_step_tokens = 48;
+    opts.tuple = {8, 7, 7, 6};
+    const RequestStreamSpec spec = small_spec();
+    const ServingReport report = run(opts, spec);
+
+    std::size_t prefill = 0;
+    std::size_t decode = 0;
+    std::uint64_t cycles = 0;
+    const auto &model = find_model("llama-7b");
+    const auto &system = find_system("anda");
+    for (const auto &s : report.steps) {
+        EXPECT_LE(s.running, opts.max_batch);
+        EXPECT_LE(s.decode_tokens, s.running);
+        EXPECT_LE(s.prefill_tokens + s.decode_tokens,
+                  std::max(opts.max_step_tokens, opts.max_batch));
+        EXPECT_GT(s.prefill_tokens + s.decode_tokens, 0u);
+        prefill += s.prefill_tokens;
+        decode += s.decode_tokens;
+        cycles += s.cycles;
+        // Replay: the recorded cost is exactly the hw model's cost of
+        // the recorded token counts.
+        const SystemRun replay = run_workload(
+            system, tech16(),
+            build_step_workload(model, s.prefill_tokens,
+                                s.decode_tokens, opts.tuple));
+        EXPECT_EQ(s.cycles, replay.cycles);
+    }
+    // Every prompt token prefills exactly once; every output token
+    // after the prefill-emitted first one decodes exactly once.
+    EXPECT_EQ(prefill, report.total_prompt_tokens);
+    EXPECT_EQ(decode,
+              report.total_output_tokens - report.requests.size());
+    EXPECT_EQ(cycles, report.total_cycles);
+}
+
+TEST_F(ServingSimTest, DeterministicAcrossRuns)
+{
+    ServingOptions opts;
+    opts.max_batch = 3;
+    opts.max_step_tokens = 32;
+    const ServingReport a = run(opts, small_spec());
+    const ServingReport b = run(opts, small_spec());
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].first_token_s,
+                  b.requests[i].first_token_s);
+        EXPECT_EQ(a.requests[i].finish_s, b.requests[i].finish_s);
+    }
+    EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST_F(ServingSimTest, SerialBatchDegeneratesToBackToBack)
+{
+    // max_batch = 1: no overlap, so every step runs exactly one
+    // request and requests finish in arrival order.
+    ServingOptions opts;
+    opts.max_batch = 1;
+    opts.max_step_tokens = 128;
+    const ServingReport report = run(opts, small_spec());
+    for (const auto &s : report.steps) {
+        EXPECT_EQ(s.running, 1u);
+    }
+    for (std::size_t i = 1; i < report.requests.size(); ++i) {
+        EXPECT_GE(report.requests[i].finish_s,
+                  report.requests[i - 1].finish_s);
+    }
+}
+
+TEST_F(ServingSimTest, ContinuousBatchingBeatsSerialMakespan)
+{
+    ServingOptions serial;
+    serial.max_batch = 1;
+    serial.max_step_tokens = 64;
+    serial.tuple = {8, 7, 7, 6};
+    ServingOptions batched = serial;
+    batched.max_batch = 8;
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;  // Offline: pure scheduling comparison.
+    const double t_serial = run(serial, spec).makespan_s;
+    const double t_batched = run(batched, spec).makespan_s;
+    EXPECT_LT(t_batched, t_serial);
+}
+
+TEST_F(ServingSimTest, AndaServesFasterThanFp16Systems)
+{
+    ServingOptions fp16;
+    fp16.max_batch = 8;
+    fp16.max_step_tokens = 64;
+    fp16.tuple = {16, 16, 16, 16};
+    ServingOptions anda = fp16;
+    anda.tuple = {8, 7, 7, 6};
+    const RequestStreamSpec spec = small_spec();
+    const ServingReport fp = run(fp16, spec, "fp-fp");
+    const ServingReport an = run(anda, spec, "anda");
+    EXPECT_LT(an.makespan_s, fp.makespan_s);
+    EXPECT_LT(an.mean_ttft_s(), fp.mean_ttft_s());
+    EXPECT_GT(an.output_tokens_per_s(), fp.output_tokens_per_s());
+}
+
+TEST_F(ServingSimTest, RejectsDegenerateInputs)
+{
+    const auto requests = generate_requests(small_spec());
+    const auto &model = find_model("llama-7b");
+    const auto &system = find_system("anda");
+    EXPECT_THROW(simulate_serving(model, system, tech16(), {}, {}),
+                 std::invalid_argument);
+    ServingOptions bad;
+    bad.max_batch = 0;
+    EXPECT_THROW(
+        simulate_serving(model, system, tech16(), requests, bad),
+        std::invalid_argument);
+    bad = ServingOptions{};
+    bad.max_step_tokens = 0;
+    EXPECT_THROW(
+        simulate_serving(model, system, tech16(), requests, bad),
+        std::invalid_argument);
+    std::vector<Request> zero_len = {{0, 0.0, 0, 4}};
+    EXPECT_THROW(
+        simulate_serving(model, system, tech16(), zero_len, {}),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anda

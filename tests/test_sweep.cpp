@@ -200,6 +200,88 @@ TEST(SweepScheduler, CapturesJobExceptionsInReport)
     EXPECT_NE(report.summary().find("FAILED"), std::string::npos);
 }
 
+TEST(ModelRegistry, FailedConstructionDoesNotPoisonRetries)
+{
+    // A config whose Transformer constructor throws must leave no
+    // entry behind: a later get() of the same config re-attempts the
+    // construction (fresh exception, counted as a miss) instead of
+    // replaying a poisoned future, and unrelated configs are
+    // untouched.
+    ModelRegistry registry;
+    ModelConfig bad = tiny_model("reg-bad", 61);
+    bad.sim.d_model = 65;  // Not divisible by n_heads = 2: ctor throws.
+    EXPECT_THROW(registry.get(bad), std::invalid_argument);
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_EQ(registry.misses(), 1u);
+    EXPECT_THROW(registry.get(bad), std::invalid_argument);
+    EXPECT_EQ(registry.misses(), 2u);  // A fresh attempt, not a replay.
+    EXPECT_EQ(registry.hits(), 0u);
+
+    const ModelConfig good = tiny_model("reg-good", 62);
+    EXPECT_NE(registry.get(good), nullptr);
+    EXPECT_EQ(registry.size(), 1u);
+
+    // A "fixed" variant of the bad config (same name, valid dims)
+    // constructs cleanly -- the name was never poisoned.
+    ModelConfig fixed = bad;
+    fixed.sim.d_model = 64;
+    EXPECT_NE(registry.get(fixed), nullptr);
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(SweepScheduler, ConstructionFailureFailsOnlyItsJobs)
+{
+    // Jobs bound to a model that cannot be constructed must fail with
+    // the constructor's message; jobs on healthy models sharing the
+    // same sweep (and registry) must be unaffected, and re-running the
+    // failed job keeps failing cleanly (no stale registry state).
+    ModelConfig bad = tiny_model("sweep-bad-model", 71);
+    bad.sim.d_model = 65;  // Throws in construction.
+    const ModelConfig good = tiny_model("sweep-good-model", 72);
+    const DatasetSpec ds = tiny_dataset();
+
+    ResultCache cache("");
+    ModelRegistry registry;
+    SweepScheduler sweep(&cache, &registry);
+    double ok = 0.0;
+    sweep.add(bad, ds, "bad-a", [](SearchHarness &h) {
+        h.baseline_ppl(Split::kValidation);
+    });
+    sweep.add(bad, ds, "bad-b", [](SearchHarness &h) {
+        h.fp16_ppl();
+    });
+    sweep.add(good, ds, "good", [&ok](SearchHarness &h) {
+        ok = h.baseline_ppl(Split::kValidation);
+    });
+    const SweepReport first = sweep.run();
+    EXPECT_EQ(first.failed, 2u);
+    EXPECT_FALSE(first.job_reports[0].error.empty());
+    EXPECT_FALSE(first.job_reports[1].error.empty());
+    EXPECT_NE(first.job_reports[0].error.find("n_heads"),
+              std::string::npos);
+    EXPECT_TRUE(first.job_reports[2].error.empty());
+    EXPECT_GT(ok, 1.0);
+    // Only the good model lives in the registry.
+    EXPECT_EQ(registry.size(), 1u);
+
+    // Retry: the bad jobs fail identically (fresh constructions, not
+    // poisoned futures); the good job is served from the cache.
+    sweep.add(bad, ds, "bad-a", [](SearchHarness &h) {
+        h.baseline_ppl(Split::kValidation);
+    });
+    sweep.add(good, ds, "good", [&ok](SearchHarness &h) {
+        ok = h.baseline_ppl(Split::kValidation);
+    });
+    const SweepReport second = sweep.run();
+    EXPECT_EQ(second.failed, 1u);
+    EXPECT_EQ(second.job_reports[0].error, first.job_reports[0].error);
+    EXPECT_EQ(second.cache_hits, 1u);
+    // The re-attempted (and again failed) construction counts as one
+    // registry miss; nothing is left behind.
+    EXPECT_EQ(second.models_constructed, 1u);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
 TEST(DefaultCachePath, HonorsEnvironmentOverride)
 {
     const char *saved = std::getenv("ANDA_EVAL_CACHE");
