@@ -1,0 +1,99 @@
+#include "llm/kv_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace anda {
+
+namespace {
+
+/// First non-trivial allocation: small enough that a short prompt
+/// stays cheap, large enough that tiny prompts don't immediately
+/// regrow.
+constexpr std::size_t kMinCapacity = 16;
+
+}  // namespace
+
+KvCache::KvCache(std::size_t n_layers, std::size_t d_model,
+                 std::size_t max_seq)
+    : d_model_(d_model), max_seq_(max_seq), k_(n_layers), v_(n_layers)
+{
+    if (n_layers == 0 || d_model == 0 || max_seq == 0) {
+        throw std::invalid_argument("degenerate KvCache dimensions");
+    }
+}
+
+void
+KvCache::reserve(std::size_t rows)
+{
+    if (rows > max_seq_) {
+        throw std::invalid_argument(
+            "KvCache: sequence exceeds max_seq");
+    }
+    if (rows <= capacity_) {
+        return;
+    }
+    const std::size_t grown =
+        std::max({rows, 2 * capacity_, kMinCapacity});
+    const std::size_t new_cap = std::min(grown, max_seq_);
+    assert(new_cap >= rows);
+    for (std::size_t l = 0; l < k_.size(); ++l) {
+        Matrix nk(new_cap, d_model_);
+        Matrix nv(new_cap, d_model_);
+        for (std::size_t r = 0; r < length_; ++r) {
+            const auto ks = k_[l].row(r);
+            const auto vs = v_[l].row(r);
+            std::copy(ks.begin(), ks.end(), nk.row(r).begin());
+            std::copy(vs.begin(), vs.end(), nv.row(r).begin());
+        }
+        k_[l] = std::move(nk);
+        v_[l] = std::move(nv);
+    }
+    capacity_ = new_cap;
+}
+
+void
+KvCache::advance(std::size_t n)
+{
+    if (length_ + n > capacity_) {
+        throw std::logic_error(
+            "KvCache: advance past allocated capacity");
+    }
+    length_ += n;
+}
+
+void
+KvCache::release()
+{
+    length_ = 0;
+    capacity_ = 0;
+    for (std::size_t l = 0; l < k_.size(); ++l) {
+        k_[l] = Matrix();
+        v_[l] = Matrix();
+    }
+}
+
+void
+BatchKvCache::add(KvCache &cache)
+{
+    for (const KvCache *c : caches_) {
+        if (c == &cache) {
+            throw std::invalid_argument(
+                "BatchKvCache: duplicate cache in batch");
+        }
+    }
+    caches_.push_back(&cache);
+}
+
+std::size_t
+BatchKvCache::total_length() const
+{
+    std::size_t total = 0;
+    for (const KvCache *c : caches_) {
+        total += c->length();
+    }
+    return total;
+}
+
+}  // namespace anda

@@ -1,0 +1,107 @@
+#pragma once
+
+/// @file
+/// Per-sequence key/value caches for incremental decode.
+///
+/// A KvCache holds the cached K/V rows of one sequence across all
+/// layers. Storage grows geometrically on demand from the actual
+/// prefix length (a cache never eagerly reserves max_seq rows — with
+/// max_batch concurrent sequences that would be prohibitive), and the
+/// committed length / allocated capacity are first-class accounting
+/// the serving scheduler reads as state. A BatchKvCache is a
+/// non-owning view packing B independent caches so one ragged decode
+/// step (one new token per sequence, heterogeneous cache lengths) can
+/// run through the same fused GeMM taps as prefill — see
+/// Transformer::decode_step.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace anda {
+
+/// Key/value cache of one sequence: per-layer [capacity x d_model]
+/// K and V row blocks, of which the first length() rows are committed.
+class KvCache {
+  public:
+    /// An empty cache for a model with `n_layers` layers, head
+    /// dimension summing to `d_model`, and a hard `max_seq` row bound.
+    /// Allocates nothing until reserve() is called.
+    KvCache(std::size_t n_layers, std::size_t d_model,
+            std::size_t max_seq);
+
+    std::size_t n_layers() const { return k_.size(); }
+    std::size_t d_model() const { return d_model_; }
+    std::size_t max_seq() const { return max_seq_; }
+
+    /// Committed (cached) tokens.
+    std::size_t length() const { return length_; }
+    /// Allocated rows per layer (>= length()).
+    std::size_t capacity() const { return capacity_; }
+    /// Allocated floats across all layers (K and V), the quantity a
+    /// scheduler budgets against.
+    std::size_t allocated_floats() const
+    {
+        return 2 * k_.size() * capacity_ * d_model_;
+    }
+
+    /// Grows storage so at least `rows` cached rows fit, preserving
+    /// the committed prefix. Growth is geometric (capacity at least
+    /// doubles) so a decode loop performs O(log max_seq) copies.
+    /// Throws std::invalid_argument when rows exceeds max_seq.
+    void reserve(std::size_t rows);
+
+    /// Commits `n` rows appended past length() via k()/v() row writes.
+    /// The rows must already fit (reserve first).
+    void advance(std::size_t n);
+
+    /// Forgets the committed tokens; allocated storage is kept for
+    /// reuse.
+    void clear() { length_ = 0; }
+    /// Frees all storage and resets the length (slot recycling).
+    void release();
+
+    /// Per-layer K/V row blocks; rows [0, length()) are committed,
+    /// rows [length(), capacity()) are writable scratch for the step
+    /// in flight.
+    Matrix &k(std::size_t layer) { return k_[layer]; }
+    Matrix &v(std::size_t layer) { return v_[layer]; }
+    const Matrix &k(std::size_t layer) const { return k_[layer]; }
+    const Matrix &v(std::size_t layer) const { return v_[layer]; }
+
+  private:
+    std::size_t d_model_ = 0;
+    std::size_t max_seq_ = 0;
+    std::size_t length_ = 0;
+    std::size_t capacity_ = 0;
+    std::vector<Matrix> k_;
+    std::vector<Matrix> v_;
+};
+
+/// Non-owning view packing B independent per-sequence caches into one
+/// ragged decode batch. Sequence i of the packed activation matrix
+/// reads and extends seq(i); the caches must outlive the view, and
+/// must be distinct objects (add() throws on a duplicate — two slots
+/// writing one cache would silently corrupt it).
+class BatchKvCache {
+  public:
+    BatchKvCache() = default;
+
+    void add(KvCache &cache);
+
+    std::size_t size() const { return caches_.size(); }
+    bool empty() const { return caches_.empty(); }
+
+    KvCache &seq(std::size_t i) { return *caches_[i]; }
+    const KvCache &seq(std::size_t i) const { return *caches_[i]; }
+
+    /// Sum of committed lengths across the packed caches (the
+    /// scheduler's KV occupancy of this batch).
+    std::size_t total_length() const;
+
+  private:
+    std::vector<KvCache *> caches_;
+};
+
+}  // namespace anda

@@ -86,21 +86,6 @@ quantize_dequantize(const Matrix &w)
 
 }  // namespace
 
-/// Per-layer key/value cache for incremental (sampling) decode.
-struct Transformer::KvCache {
-    KvCache(std::size_t n_layers, std::size_t max_seq, std::size_t d)
-    {
-        k.reserve(n_layers);
-        v.reserve(n_layers);
-        for (std::size_t l = 0; l < n_layers; ++l) {
-            k.emplace_back(max_seq, d);
-            v.emplace_back(max_seq, d);
-        }
-    }
-    std::vector<Matrix> k;
-    std::vector<Matrix> v;
-};
-
 Transformer::Transformer(const ModelConfig &cfg) : cfg_(cfg)
 {
     const ModelDims &d = cfg_.sim;
@@ -256,20 +241,9 @@ Transformer::embed_into(std::span<const int> tokens,
     }
 }
 
-Matrix
-Transformer::embed(std::span<const int> tokens,
-                   std::size_t pos_offset) const
-{
-    Matrix x(tokens.size(),
-             static_cast<std::size_t>(cfg_.sim.d_model));
-    embed_into(tokens, pos_offset, x, 0);
-    return x;
-}
-
 void
 Transformer::run_block(std::size_t layer, Matrix &x,
-                       const RunOptions &opts, KvCache *kv,
-                       std::size_t pos_offset,
+                       const RunOptions &opts, BatchKvCache *kv,
                        std::span<const std::size_t> seq_lens) const
 {
     const ModelDims &dims = cfg_.sim;
@@ -280,7 +254,7 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     const std::size_t hd = d / heads;
     const bool llama = cfg_.is_llama();
     assert(!seq_lens.empty());
-    assert(kv == nullptr || seq_lens.size() == 1);
+    assert(kv == nullptr || kv->size() == seq_lens.size());
 #ifndef NDEBUG
     {
         std::size_t total = 0;
@@ -307,10 +281,15 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     Matrix v = matmul_wt(a, pick(lw.wv, lw.wv_dq, opts), opts.threads);
     if (llama) {
         std::size_t off = 0;
-        for (const std::size_t len : seq_lens) {
+        for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+            const std::size_t len = seq_lens[s];
+            // Positions restart at every packed sequence boundary and,
+            // when decoding, continue from the sequence's cached
+            // prefix length.
+            const std::size_t base =
+                kv != nullptr ? kv->seq(s).length() : 0;
             for (std::size_t t = 0; t < len; ++t) {
-                // Positions restart at every packed sequence boundary.
-                const std::size_t pos = pos_offset + t;
+                const std::size_t pos = base + t;
                 for (std::size_t h = 0; h < heads; ++h) {
                     rope_inplace(q.row(off + t).subspan(h * hd, hd),
                                  static_cast<int>(pos));
@@ -322,25 +301,24 @@ Transformer::run_block(std::size_t layer, Matrix &x,
         }
     }
 
-    // Rows of k/v each sequence attends over (its own block only, so
-    // packed sequences never see each other).
-    const Matrix *k_src = &k;
-    const Matrix *v_src = &v;
     if (kv != nullptr) {
-        // Incremental decode: append the new rows to the cache and
-        // attend over the full prefix.
-        Matrix &kc = kv->k[layer];
-        Matrix &vc = kv->v[layer];
-        for (std::size_t t = 0; t < t_len; ++t) {
-            const std::size_t row = pos_offset + t;
-            assert(row < kc.rows());
-            std::copy(k.row(t).begin(), k.row(t).end(),
-                      kc.row(row).begin());
-            std::copy(v.row(t).begin(), v.row(t).end(),
-                      vc.row(row).begin());
+        // Incremental decode: append each sequence's new rows to its
+        // cache (rows are cache-absolute, continuing the prefix).
+        std::size_t off = 0;
+        for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+            KvCache &c = kv->seq(s);
+            Matrix &kc = c.k(layer);
+            Matrix &vc = c.v(layer);
+            const std::size_t base = c.length();
+            assert(base + seq_lens[s] <= c.capacity());
+            for (std::size_t t = 0; t < seq_lens[s]; ++t) {
+                std::copy(k.row(off + t).begin(), k.row(off + t).end(),
+                          kc.row(base + t).begin());
+                std::copy(v.row(off + t).begin(), v.row(off + t).end(),
+                          vc.row(base + t).begin());
+            }
+            off += seq_lens[s];
         }
-        k_src = &kc;
-        v_src = &vc;
     }
 
     Matrix ctx(t_len, d);
@@ -352,13 +330,20 @@ Transformer::run_block(std::size_t layer, Matrix &x,
         Matrix vh;
         Matrix oh;
         std::size_t r0 = 0;
-        for (const std::size_t len : seq_lens) {
+        for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+            const std::size_t len = seq_lens[s];
             // With a cache, k/v rows are cache-absolute and span the
-            // whole prefix; without one, each sequence's rows sit at
+            // sequence's whole prefix (which the fresh rows were just
+            // appended to); without one, each sequence's rows sit at
             // its own block offset.
-            const std::size_t kv_len =
-                kv != nullptr ? pos_offset + len : len;
+            const std::size_t base =
+                kv != nullptr ? kv->seq(s).length() : 0;
+            const std::size_t kv_len = base + len;
             const std::size_t kv0 = kv != nullptr ? 0 : r0;
+            const Matrix *k_src =
+                kv != nullptr ? &kv->seq(s).k(layer) : &k;
+            const Matrix *v_src =
+                kv != nullptr ? &kv->seq(s).v(layer) : &v;
             if (qh.rows() != len) {
                 qh = Matrix(len, hd);
                 oh = Matrix(len, hd);
@@ -382,8 +367,7 @@ Transformer::run_block(std::size_t layer, Matrix &x,
                     std::copy(ks.begin(), ks.end(), kh.row(t).begin());
                     std::copy(vs.begin(), vs.end(), vh.row(t).begin());
                 }
-                causal_attention_head(qh, kh, vh, kv_len, pos_offset,
-                                      oh);
+                causal_attention_head(qh, kh, vh, kv_len, base, oh);
                 for (std::size_t t = 0; t < len; ++t) {
                     const auto dst =
                         ctx.row(r0 + t).subspan(h * hd, hd);
@@ -473,17 +457,36 @@ Transformer::final_logits_row(std::span<const float> x,
 Matrix
 Transformer::forward_hidden(std::span<const int> tokens_flat,
                             std::span<const std::size_t> seq_lens,
-                            const RunOptions &opts) const
+                            const RunOptions &opts,
+                            BatchKvCache *kv) const
 {
     if (seq_lens.empty() || tokens_flat.empty()) {
         throw std::invalid_argument("empty token sequence");
     }
+    if (kv != nullptr && kv->size() != seq_lens.size()) {
+        throw std::invalid_argument(
+            "cache batch does not match sequence count");
+    }
     std::size_t total = 0;
-    for (const std::size_t len : seq_lens) {
+    for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+        const std::size_t len = seq_lens[s];
         if (len == 0) {
             throw std::invalid_argument("empty sequence in batch");
         }
-        if (len > static_cast<std::size_t>(cfg_.sim.max_seq)) {
+        if (kv != nullptr) {
+            const KvCache &c = kv->seq(s);
+            if (c.n_layers() != layers_.size() ||
+                c.d_model() !=
+                    static_cast<std::size_t>(cfg_.sim.d_model) ||
+                c.max_seq() !=
+                    static_cast<std::size_t>(cfg_.sim.max_seq)) {
+                throw std::invalid_argument(
+                    "cache shape does not match the model");
+            }
+        }
+        const std::size_t base =
+            kv != nullptr ? kv->seq(s).length() : 0;
+        if (base + len > static_cast<std::size_t>(cfg_.sim.max_seq)) {
             throw std::invalid_argument("sequence exceeds max_seq");
         }
         total += len;
@@ -492,17 +495,77 @@ Transformer::forward_hidden(std::span<const int> tokens_flat,
         throw std::invalid_argument(
             "packed token buffer does not match sequence lengths");
     }
+    if (kv != nullptr) {
+        // One geometric growth per step, after all validation (a
+        // throwing call must not mutate any cache) and before any
+        // layer writes.
+        for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+            kv->seq(s).reserve(kv->seq(s).length() + seq_lens[s]);
+        }
+    }
     Matrix x(tokens_flat.size(),
              static_cast<std::size_t>(cfg_.sim.d_model));
     std::size_t off = 0;
-    for (const std::size_t len : seq_lens) {
-        embed_into(tokens_flat.subspan(off, len), 0, x, off);
+    for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+        const std::size_t len = seq_lens[s];
+        const std::size_t base =
+            kv != nullptr ? kv->seq(s).length() : 0;
+        embed_into(tokens_flat.subspan(off, len), base, x, off);
         off += len;
     }
     for (std::size_t l = 0; l < layers_.size(); ++l) {
-        run_block(l, x, opts, nullptr, 0, seq_lens);
+        run_block(l, x, opts, kv, seq_lens);
+    }
+    if (kv != nullptr) {
+        // Commit only after every layer consumed the pre-step lengths.
+        for (std::size_t s = 0; s < seq_lens.size(); ++s) {
+            kv->seq(s).advance(seq_lens[s]);
+        }
     }
     return x;
+}
+
+KvCache
+Transformer::make_cache() const
+{
+    return KvCache(layers_.size(),
+                   static_cast<std::size_t>(cfg_.sim.d_model),
+                   static_cast<std::size_t>(cfg_.sim.max_seq));
+}
+
+std::vector<float>
+Transformer::prefill(KvCache &cache, std::span<const int> tokens,
+                     const RunOptions &opts, bool want_logits) const
+{
+    BatchKvCache batch;
+    batch.add(cache);
+    const std::size_t len = tokens.size();
+    const Matrix x = forward_hidden(tokens, {&len, 1}, opts, &batch);
+    std::vector<float> logits;
+    if (want_logits) {
+        logits.resize(static_cast<std::size_t>(cfg_.sim.vocab));
+        final_logits_row(x.row(len - 1), logits);
+    }
+    return logits;
+}
+
+Matrix
+Transformer::decode_step(BatchKvCache &caches,
+                         std::span<const int> tokens,
+                         const RunOptions &opts) const
+{
+    if (caches.empty() || caches.size() != tokens.size()) {
+        throw std::invalid_argument(
+            "decode step needs one token per cached sequence");
+    }
+    const std::vector<std::size_t> lens(tokens.size(), 1);
+    const Matrix x = forward_hidden(tokens, lens, opts, &caches);
+    Matrix logits(tokens.size(),
+                  static_cast<std::size_t>(cfg_.sim.vocab));
+    for (std::size_t b = 0; b < tokens.size(); ++b) {
+        final_logits_row(x.row(b), logits.row(b));
+    }
+    return logits;
 }
 
 Matrix
@@ -623,23 +686,23 @@ Transformer::sample_sequence(int length, double temperature,
     opts.threads = 1;
 
     SplitMix64 rng(seed);
-    KvCache cache(layers_.size(),
-                  static_cast<std::size_t>(cfg_.sim.max_seq),
-                  static_cast<std::size_t>(cfg_.sim.d_model));
     std::vector<int> tokens = {0};
-    std::vector<float> logits(static_cast<std::size_t>(cfg_.sim.vocab));
-    for (int pos = 0; pos + 1 < length; ++pos) {
+    if (length == 1) {
+        return tokens;
+    }
+    KvCache cache = make_cache();
+    BatchKvCache batch;
+    batch.add(cache);
+    const std::vector<float> first =
+        prefill(cache, std::span<const int>(tokens.data(), 1), opts);
+    tokens.push_back(
+        sample_from_logits(first, temperature, rng.uniform()));
+    while (static_cast<int>(tokens.size()) < length) {
         const int tok = tokens.back();
-        Matrix x = embed(std::span<const int>(&tok, 1),
-                         static_cast<std::size_t>(pos));
-        const std::size_t one = 1;
-        for (std::size_t l = 0; l < layers_.size(); ++l) {
-            run_block(l, x, opts, &cache,
-                      static_cast<std::size_t>(pos), {&one, 1});
-        }
-        final_logits_row(x.row(0), logits);
-        tokens.push_back(
-            sample_from_logits(logits, temperature, rng.uniform()));
+        const Matrix logits =
+            decode_step(batch, std::span<const int>(&tok, 1), opts);
+        tokens.push_back(sample_from_logits(logits.row(0), temperature,
+                                            rng.uniform()));
     }
     return tokens;
 }

@@ -21,6 +21,7 @@
 #include "common/matrix.h"
 #include "kernels/gemm.h"
 #include "llm/config.h"
+#include "llm/kv_cache.h"
 #include "quant/weight_quant.h"
 
 namespace anda {
@@ -96,8 +97,38 @@ class Transformer {
     batch_nll(std::span<const std::vector<int>> seqs,
               const RunOptions &opts) const;
 
+    /// An empty KV cache sized for this model (grows on demand; see
+    /// llm/kv_cache.h).
+    KvCache make_cache() const;
+
+    /// Runs `tokens` through the model continuing the sequence cached
+    /// in `cache` (positions start at cache.length(); an empty cache
+    /// prefills from position 0), appending their K/V rows. Returns
+    /// the logits row of the last token [vocab] — what the first
+    /// generated token is sampled from — bit-identical to the
+    /// corresponding row of a full-prefix forward_logits call. Pass
+    /// want_logits = false on intermediate chunks of a chunked
+    /// prefill to skip the O(vocab·d) logit head (returns empty).
+    std::vector<float> prefill(KvCache &cache,
+                               std::span<const int> tokens,
+                               const RunOptions &opts,
+                               bool want_logits = true) const;
+
+    /// One ragged incremental decode step: token i extends the
+    /// sequence cached in caches.seq(i) (heterogeneous lengths
+    /// allowed; attention is block-diagonal over each cache's prefix
+    /// and RoPE/positions continue from each sequence's offset). All B
+    /// rows run through the same fused GeMM taps as prefill. Returns
+    /// logits [B x vocab], bit-identical to row T_i of recomputing
+    /// each full prefix through forward_logits_batched (enforced by
+    /// tests/test_decode.cpp). Caches must be distinct objects.
+    Matrix decode_step(BatchKvCache &caches,
+                       std::span<const int> tokens,
+                       const RunOptions &opts) const;
+
     /// Ancestrally samples a sequence from the full-precision model
-    /// (the "teacher"); deterministic in (seed). First token is 0 (BOS).
+    /// (the "teacher"); deterministic in (seed). First token is 0
+    /// (BOS). Runs on the public prefill + decode_step path.
     std::vector<int> sample_sequence(int length, double temperature,
                                      std::uint64_t seed) const;
 
@@ -119,12 +150,14 @@ class Transformer {
     /// Runs one transformer block over x [sum(T_i) x d] in place,
     /// where seq_lens lists the packed per-sequence lengths; all
     /// row-wise operations span the packed rows, attention is
-    /// per-sequence (block-diagonal) and positions restart at each
-    /// boundary. kv_cache != nullptr enables incremental decoding
-    /// (exactly one sequence; see .cpp).
-    struct KvCache;
+    /// per-sequence (block-diagonal). Without a cache, positions
+    /// restart at each boundary. With kv != nullptr (one cache per
+    /// packed sequence), sequence i appends its rows to
+    /// kv->seq(i) at positions continuing from seq(i).length() and
+    /// attends over its full cached prefix; the caller commits the
+    /// lengths (KvCache::advance) after all layers ran.
     void run_block(std::size_t layer, Matrix &x, const RunOptions &opts,
-                   KvCache *kv, std::size_t pos_offset,
+                   BatchKvCache *kv,
                    std::span<const std::size_t> seq_lens) const;
 
     const Matrix &pick(const Matrix &full, const Matrix &dq,
@@ -133,16 +166,18 @@ class Transformer {
         return opts.quantized_weights ? dq : full;
     }
 
-    Matrix embed(std::span<const int> tokens,
-                 std::size_t pos_offset) const;
     void embed_into(std::span<const int> tokens, std::size_t pos_offset,
                     Matrix &x, std::size_t row0) const;
     /// Runs embedding + all blocks over the packed ragged token buffer
     /// (tokens_flat.size() == sum(seq_lens)); returns the final hidden
-    /// states [sum(T_i) x d] before the logit head.
+    /// states [sum(T_i) x d] before the logit head. With kv !=
+    /// nullptr the pass is incremental: sequence i continues the
+    /// prefix cached in kv->seq(i), whose length is committed on
+    /// return.
     Matrix forward_hidden(std::span<const int> tokens_flat,
                           std::span<const std::size_t> seq_lens,
-                          const RunOptions &opts) const;
+                          const RunOptions &opts,
+                          BatchKvCache *kv = nullptr) const;
     /// Streamed per-sequence NLLs over the packed token buffer.
     std::vector<double>
     nll_stacked(std::span<const int> tokens_flat,

@@ -1,10 +1,15 @@
 #include "serve/serving_sim.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/rng.h"
+#include "llm/ops.h"
 
 namespace anda {
 
@@ -16,6 +21,45 @@ struct Running {
     std::size_t remaining_prefill = 0;
     std::size_t remaining_output = 0;
 };
+
+/// Execution-mode state of one admitted request: its synthetic prompt,
+/// its KV cache, and its private sampling stream (schedule-independent
+/// by construction).
+struct ExecRequest {
+    ExecRequest(const Transformer &tf, const Request &r,
+                std::uint64_t seed)
+        : prompt(exec_prompt_tokens(tf.dims().vocab, r.prompt_len, seed,
+                                    r.id)),
+          cache(tf.make_cache()),
+          rng(exec_sampler_seed(seed, r.id))
+    {
+    }
+    std::vector<int> prompt;
+    KvCache cache;
+    SplitMix64 rng;
+    /// Input of the next decode step (the last emitted token).
+    int last_token = 0;
+};
+
+}  // namespace
+
+int
+exec_pick_token(std::span<const float> logits, double temperature,
+                SplitMix64 &rng)
+{
+    if (temperature > 0.0) {
+        return sample_from_logits(logits, temperature, rng.uniform());
+    }
+    std::size_t best = 0;
+    for (std::size_t v = 1; v < logits.size(); ++v) {
+        if (logits[v] > logits[best]) {
+            best = v;
+        }
+    }
+    return static_cast<int>(best);
+}
+
+namespace {
 
 double
 percentile(std::vector<double> values, double q)
@@ -78,6 +122,26 @@ ServingReport::mean_decode_s_per_token() const
     return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
+std::uint64_t
+ServingReport::generated_checksum() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset.
+    const auto mix = [&h](std::uint64_t x) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (x >> (8 * b)) & 0xffull;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const auto &r : requests) {
+        mix(static_cast<std::uint64_t>(r.id));
+        mix(r.tokens.size());
+        for (const int t : r.tokens) {
+            mix(static_cast<std::uint64_t>(t));
+        }
+    }
+    return h;
+}
+
 std::string
 ServingReport::summary() const
 {
@@ -92,8 +156,40 @@ ServingReport::summary() const
         << "TTFT mean " << mean_ttft_s() * 1e3 << " ms / p95 "
         << p95_ttft_s() * 1e3 << " ms; decode "
         << mean_decode_s_per_token() * 1e3 << " ms/tok; "
-        << steps.size() << " steps, peak batch " << peak_batch << "\n";
+        << steps.size() << " steps, peak batch " << peak_batch
+        << ", peak cache " << peak_cache_tokens << " tok";
+    if (executed) {
+        out << "; executed checksum " << std::hex
+            << generated_checksum() << std::dec;
+    }
+    out << "\n";
     return out.str();
+}
+
+std::vector<int>
+exec_prompt_tokens(int vocab, int prompt_len, std::uint64_t seed,
+                   int id)
+{
+    if (vocab < 1 || prompt_len < 1) {
+        throw std::invalid_argument("bad prompt spec");
+    }
+    std::vector<int> prompt(static_cast<std::size_t>(prompt_len));
+    prompt[0] = 0;  // BOS, matching the teacher's convention.
+    SplitMix64 rng(derive_seed(
+        seed, 2 * static_cast<std::uint64_t>(static_cast<unsigned>(id)) +
+                  1));
+    for (std::size_t t = 1; t < prompt.size(); ++t) {
+        prompt[t] = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(vocab)));
+    }
+    return prompt;
+}
+
+std::uint64_t
+exec_sampler_seed(std::uint64_t seed, int id)
+{
+    return derive_seed(
+        seed, 2 * static_cast<std::uint64_t>(static_cast<unsigned>(id)));
 }
 
 std::vector<GemmOp>
@@ -126,9 +222,23 @@ simulate_serving(const ModelConfig &model,
     if (opts.max_batch == 0 || opts.max_step_tokens == 0) {
         throw std::invalid_argument("zero serving batch or budget");
     }
+    const bool exec = opts.executor != nullptr;
     for (const Request &r : requests) {
         if (r.prompt_len < 1 || r.output_len < 1) {
             throw std::invalid_argument("bad request lengths");
+        }
+        if (opts.max_cache_tokens > 0 &&
+            static_cast<std::size_t>(r.prompt_len) >
+                opts.max_cache_tokens) {
+            throw std::invalid_argument(
+                "prompt cannot pass the cache admission gate");
+        }
+        // A request caches prompt_len + output_len - 1 rows (every
+        // decode input appends one); it must fit the executor.
+        if (exec && r.prompt_len + r.output_len - 1 >
+                        opts.executor->dims().max_seq) {
+            throw std::invalid_argument(
+                "request exceeds the executor's max_seq");
         }
     }
 
@@ -162,10 +272,17 @@ simulate_serving(const ModelConfig &model,
             static_cast<std::size_t>(m.output_len);
     }
 
+    report.executed = exec;
+    std::vector<std::unique_ptr<ExecRequest>> exec_state(queue.size());
+
     std::vector<Running> running;
     running.reserve(opts.max_batch);
     std::size_t next = 0;  // Queue cursor.
     double now = 0.0;
+    // KV occupancy the admission gate budgets against: rows resident
+    // in caches plus the still-to-prefill prompt rows of admitted
+    // requests (their allocation is committed even before it lands).
+    std::size_t committed_cache = 0;
 
     while (next < queue.size() || !running.empty()) {
         // Idle system: jump to the next arrival.
@@ -177,10 +294,21 @@ simulate_serving(const ModelConfig &model,
         while (next < queue.size() && running.size() < opts.max_batch &&
                report.requests[next].arrival_s <= now) {
             RequestMetrics &m = report.requests[next];
+            if (opts.max_cache_tokens > 0 &&
+                committed_cache +
+                        static_cast<std::size_t>(m.prompt_len) >
+                    opts.max_cache_tokens) {
+                break;  // FCFS: never skip past a blocked head.
+            }
             m.admitted_s = now;
             running.push_back(
                 {next, static_cast<std::size_t>(m.prompt_len),
                  static_cast<std::size_t>(m.output_len)});
+            committed_cache += static_cast<std::size_t>(m.prompt_len);
+            if (exec) {
+                exec_state[next] = std::make_unique<ExecRequest>(
+                    *opts.executor, *queue[next], opts.exec_seed);
+            }
             ++next;
         }
         report.peak_batch = std::max(report.peak_batch, running.size());
@@ -212,9 +340,68 @@ simulate_serving(const ModelConfig &model,
             build_step_workload(model, prefill_tokens, decode_tokens,
                                 opts.tuple));
         report.steps.push_back({now, run.cycles, prefill_tokens,
-                                decode_tokens, running.size()});
+                                decode_tokens, running.size(), 0});
         report.total_cycles += run.cycles;
         now += run.seconds(tech);
+
+        if (exec) {
+            // Execute exactly the priced shapes. One ragged decode
+            // step advances every request that entered the step past
+            // its prefill (heterogeneous cache lengths in one packed
+            // batch)...
+            BatchKvCache batch;
+            std::vector<int> in_tokens;
+            std::vector<std::size_t> decoding;
+            for (const Running &r : running) {
+                if (r.remaining_prefill == 0) {
+                    ExecRequest &e = *exec_state[r.idx];
+                    batch.add(e.cache);
+                    in_tokens.push_back(e.last_token);
+                    decoding.push_back(r.idx);
+                }
+            }
+            if (!in_tokens.empty()) {
+                const Matrix logits = opts.executor->decode_step(
+                    batch, in_tokens, opts.exec_run);
+                for (std::size_t j = 0; j < decoding.size(); ++j) {
+                    ExecRequest &e = *exec_state[decoding[j]];
+                    const int tok =
+                        exec_pick_token(logits.row(j),
+                                   opts.exec_temperature, e.rng);
+                    e.last_token = tok;
+                    report.requests[decoding[j]].tokens.push_back(tok);
+                }
+            }
+            // ...and the prefill chunks append to their caches; the
+            // chunk completing a prompt emits the first output token
+            // from its last-row logits (already computed, so it costs
+            // no decode row — matching the priced step shape).
+            for (std::size_t i = 0; i < running.size(); ++i) {
+                if (chunk[i] == 0) {
+                    continue;
+                }
+                ExecRequest &e = *exec_state[running[i].idx];
+                RequestMetrics &m = report.requests[running[i].idx];
+                const std::size_t done =
+                    static_cast<std::size_t>(m.prompt_len) -
+                    running[i].remaining_prefill;
+                const bool completes =
+                    chunk[i] == running[i].remaining_prefill;
+                // Intermediate chunks skip the O(vocab·d) logit head.
+                const std::vector<float> logits =
+                    opts.executor->prefill(
+                        e.cache,
+                        std::span<const int>(e.prompt.data() + done,
+                                             chunk[i]),
+                        opts.exec_run, completes);
+                if (completes) {
+                    const int tok = exec_pick_token(
+                        logits, opts.exec_temperature, e.rng);
+                    e.last_token = tok;
+                    m.tokens.push_back(tok);
+                }
+            }
+        }
 
         // Advance progress; the step's end timestamps every token it
         // produced. A prefill that completes emits the first output
@@ -234,6 +421,11 @@ simulate_serving(const ModelConfig &model,
             }
             if (r.remaining_prefill == 0 && r.remaining_output == 0) {
                 m.finish_s = now;
+                if (exec) {
+                    // Free the finished request's KV rows (the slot's
+                    // occupancy returns to the pool).
+                    exec_state[r.idx].reset();
+                }
             }
         }
         running.erase(
@@ -243,6 +435,34 @@ simulate_serving(const ModelConfig &model,
                                       r.remaining_output == 0;
                            }),
             running.end());
+
+        // KV occupancy after the step: resident rows of live caches
+        // (prompt progress + decode appends) plus the committed
+        // not-yet-prefilled prompt rows for the admission gate.
+        std::size_t resident = 0;
+        std::size_t pending_prefill = 0;
+        for (const Running &r : running) {
+            const RequestMetrics &m = report.requests[r.idx];
+            const std::size_t prompt_done =
+                static_cast<std::size_t>(m.prompt_len) -
+                r.remaining_prefill;
+            const std::size_t generated =
+                static_cast<std::size_t>(m.output_len) -
+                r.remaining_output;
+            resident += prompt_done + (generated > 0 ? generated - 1
+                                                     : 0);
+            pending_prefill += r.remaining_prefill;
+            // The counter-derived occupancy is exactly the executed
+            // cache length — scheduler state matches the substrate.
+            assert(!exec || exec_state[r.idx]->cache.length() ==
+                                prompt_done +
+                                    (generated > 0 ? generated - 1
+                                                   : 0));
+        }
+        report.steps.back().cache_tokens = resident;
+        report.peak_cache_tokens =
+            std::max(report.peak_cache_tokens, resident);
+        committed_cache = resident + pending_prefill;
     }
 
     report.makespan_s = now;

@@ -15,13 +15,24 @@
 /// The report carries per-request TTFT / decode latency and aggregate
 /// throughput, plus a per-step log so tests can replay and cross-check
 /// every cost and token-conservation invariant bit-for-bit.
+///
+/// With ServingOptions::executor set the scheduler additionally
+/// *executes* generation on the accuracy substrate: admitted requests
+/// prefill per-sequence KV caches (llm/kv_cache.h), every step runs
+/// one ragged Transformer::decode_step over the running batch, and the
+/// sampled tokens land in RequestMetrics::tokens. Execution never
+/// perturbs scheduling or pricing — the perf model still prices the
+/// executed step shapes, so the step log is identical with and without
+/// an executor (generation_smoke replays both ways).
 
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "hw/workload.h"
+#include "llm/transformer.h"
 #include "serve/request_stream.h"
 
 namespace anda {
@@ -38,6 +49,26 @@ struct ServingOptions {
     /// Activation mantissas of the four FP-INT taps ({16,16,16,16}
     /// for FP16-activation systems).
     PrecisionTuple tuple{16, 16, 16, 16};
+    /// KV-cache occupancy cap [tokens] gating admission (0 = off): a
+    /// request is admitted only when the resident cached tokens plus
+    /// its prompt fit. Decode appends can transiently exceed the cap
+    /// (it is an admission gate, not a hard bound). Requests whose
+    /// prompt alone exceeds the cap are rejected up front.
+    std::size_t max_cache_tokens = 0;
+    /// Execution substrate (may be null = pricing only): when set,
+    /// generation runs for real — prompts are synthesized from the
+    /// request ids (exec_prompt_tokens), prefill fills per-request
+    /// KV caches, and each step decodes one token per running request
+    /// through Transformer::decode_step. Requests must satisfy
+    /// prompt_len + output_len - 1 <= executor sim max_seq.
+    const Transformer *executor = nullptr;
+    /// Activation formats of the executed forward passes.
+    RunOptions exec_run;
+    /// Sampling temperature of executed generation (<= 0 = argmax).
+    double exec_temperature = 0.0;
+    /// Seed of the per-request prompt/sampling streams, so executed
+    /// tokens are deterministic and independent of scheduling.
+    std::uint64_t exec_seed = 0;
 };
 
 /// Timeline of one request through the scheduler.
@@ -53,6 +84,10 @@ struct RequestMetrics {
     double first_token_s = 0.0;
     /// End of the step that emitted the last output token.
     double finish_s = 0.0;
+    /// Generated tokens in emission order (execution mode only; empty
+    /// when the run priced steps without executing them). Size equals
+    /// output_len once the request finished.
+    std::vector<int> tokens;
 
     double ttft_s() const { return first_token_s - arrival_s; }
     /// Mean inter-token latency of the decode phase (0 when the
@@ -74,6 +109,10 @@ struct ServingStep {
     std::size_t decode_tokens = 0;
     /// Requests in the batch while this step ran.
     std::size_t running = 0;
+    /// KV-cache tokens resident after the step (finished requests
+    /// freed). Identical in pricing-only and execution runs; in the
+    /// latter it equals the summed KvCache::length() of live caches.
+    std::size_t cache_tokens = 0;
 };
 
 /// Outcome of one simulated serving run.
@@ -87,6 +126,11 @@ struct ServingReport {
     std::size_t total_prompt_tokens = 0;
     std::size_t total_output_tokens = 0;
     std::size_t peak_batch = 0;
+    /// Maximum of ServingStep::cache_tokens over the run (the KV
+    /// memory high-water mark a capacity planner budgets against).
+    std::size_t peak_cache_tokens = 0;
+    /// True when the run executed generation (tokens are populated).
+    bool executed = false;
 
     /// Generated tokens per second over the makespan.
     double output_tokens_per_s() const;
@@ -94,6 +138,9 @@ struct ServingReport {
     double p95_ttft_s() const;
     /// Mean decode inter-token latency across multi-token requests.
     double mean_decode_s_per_token() const;
+    /// FNV-1a checksum over (id, generated tokens) of every request —
+    /// the determinism fingerprint generation_smoke pins.
+    std::uint64_t generated_checksum() const;
     /// One-line human-readable summary for logs and CI artifacts.
     std::string summary() const;
 };
@@ -107,10 +154,33 @@ std::vector<GemmOp> build_step_workload(const ModelConfig &model,
                                         std::size_t decode_tokens,
                                         const PrecisionTuple &tuple);
 
+/// The deterministic synthetic prompt execution mode feeds request
+/// `id`: BOS (0) followed by uniform tokens from the executor's sim
+/// vocab, derived from (seed, id) only — so a request's prompt does
+/// not depend on scheduling. Exposed for replay tools.
+std::vector<int> exec_prompt_tokens(int vocab, int prompt_len,
+                                    std::uint64_t seed, int id);
+
+/// Seed of request `id`'s sampling stream in execution mode (one
+/// SplitMix64 per request, again schedule-independent). Exposed so
+/// replay tools can regenerate a request standalone and compare
+/// tokens bit-for-bit with the scheduler's.
+std::uint64_t exec_sampler_seed(std::uint64_t seed, int id);
+
+/// The token-selection rule executed generation applies to a logits
+/// row: temperature > 0 samples via sample_from_logits (one uniform
+/// draw); temperature <= 0 is greedy argmax with first-max-wins
+/// tie-breaking and consumes no draw. Exposed so standalone replays
+/// reproduce the scheduler's tokens bit-for-bit at any temperature.
+int exec_pick_token(std::span<const float> logits, double temperature,
+                    SplitMix64 &rng);
+
 /// Simulates serving `requests` (any order; scheduled FCFS by arrival
 /// time) on one accelerator configuration. Deterministic in its
-/// arguments. Throws std::invalid_argument on an empty stream or
-/// zero batch/budget options.
+/// arguments. Throws std::invalid_argument on an empty stream, zero
+/// batch/budget options, a prompt that cannot pass max_cache_tokens,
+/// or (execution mode) a request that cannot fit the executor's
+/// max_seq.
 ServingReport simulate_serving(const ModelConfig &model,
                                const AcceleratorConfig &system,
                                const TechParams &tech,

@@ -1,7 +1,8 @@
 // Tests of the serving layer: deterministic request streams, the
 // continuous-batching scheduler's invariants (admission caps, token
-// budgets, conservation, replayable step costs), and the latency /
-// throughput report.
+// budgets, conservation, replayable step costs, KV occupancy), the
+// latency / throughput report, and execution mode (real token
+// generation on the accuracy substrate without perturbing pricing).
 
 #include <gtest/gtest.h>
 
@@ -236,6 +237,193 @@ TEST_F(ServingSimTest, AndaServesFasterThanFp16Systems)
     EXPECT_LT(an.makespan_s, fp.makespan_s);
     EXPECT_LT(an.mean_ttft_s(), fp.mean_ttft_s());
     EXPECT_GT(an.output_tokens_per_s(), fp.output_tokens_per_s());
+}
+
+TEST_F(ServingSimTest, StepLogTracksCacheOccupancy)
+{
+    ServingOptions opts;
+    opts.max_batch = 6;
+    opts.max_step_tokens = 48;
+    const ServingReport report = run(opts, small_spec());
+    std::size_t peak = 0;
+    for (const auto &s : report.steps) {
+        peak = std::max(peak, s.cache_tokens);
+    }
+    EXPECT_EQ(peak, report.peak_cache_tokens);
+    EXPECT_GT(report.peak_cache_tokens, 0u);
+    // Everything finished: the last step leaves no resident rows.
+    EXPECT_EQ(report.steps.back().cache_tokens, 0u);
+    // A request resident end-to-end caches prompt + output - 1 rows.
+    std::size_t bound = 0;
+    for (const auto &m : report.requests) {
+        bound += static_cast<std::size_t>(m.prompt_len) +
+                 static_cast<std::size_t>(m.output_len) - 1;
+    }
+    EXPECT_LE(report.peak_cache_tokens, bound);
+}
+
+TEST_F(ServingSimTest, CacheGateLimitsAdmission)
+{
+    ServingOptions open;
+    open.max_batch = 8;
+    open.max_step_tokens = 64;
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;  // Burst: admission pressure is maximal.
+    const ServingReport free_run = run(open, spec);
+
+    ServingOptions gated = open;
+    gated.max_cache_tokens = 128;
+    const ServingReport gated_run = run(gated, spec);
+    // The gate holds requests back (here it binds: the open run peaks
+    // above the cap), so concurrency drops and the makespan stretches.
+    ASSERT_GT(free_run.peak_cache_tokens, gated.max_cache_tokens);
+    EXPECT_LT(gated_run.peak_batch, free_run.peak_batch);
+    EXPECT_GE(gated_run.makespan_s, free_run.makespan_s);
+    // Every request still finishes.
+    for (const auto &m : gated_run.requests) {
+        EXPECT_GT(m.finish_s, 0.0) << "id=" << m.id;
+    }
+    // A prompt that cannot ever pass the gate is rejected up front.
+    ServingOptions tiny_gate = open;
+    tiny_gate.max_cache_tokens = 2;
+    const auto requests = generate_requests(spec);
+    EXPECT_THROW(simulate_serving(find_model("llama-7b"),
+                                  find_system("anda"), tech16(),
+                                  requests, tiny_gate),
+                 std::invalid_argument);
+}
+
+class ServingExecutionTest : public ::testing::Test {
+  protected:
+    /// Tiny accuracy substrate sharing llama-7b's pricing (real) dims,
+    /// so executed runs must replay priced runs exactly.
+    static const Transformer &executor()
+    {
+        static const Transformer m([] {
+            ModelConfig cfg = find_model("llama-7b");
+            cfg.name = "serve-exec-tiny";
+            cfg.sim.d_model = 64;
+            cfg.sim.n_layers = 1;
+            cfg.sim.n_heads = 2;
+            cfg.sim.d_ffn = 128;
+            cfg.sim.vocab = 64;
+            cfg.sim.max_seq = 128;
+            return cfg;
+        }());
+        return m;
+    }
+
+    static RequestStreamSpec exec_spec()
+    {
+        RequestStreamSpec spec;
+        spec.seed = 99;
+        spec.n_requests = 12;
+        spec.arrival_rate = 1000.0;
+        spec.prompt_min = 2;
+        spec.prompt_max = 40;
+        spec.output_min = 2;
+        spec.output_max = 16;
+        return spec;
+    }
+
+    static ServingOptions exec_opts()
+    {
+        ServingOptions opts;
+        opts.max_batch = 4;
+        opts.max_step_tokens = 24;
+        opts.tuple = {8, 7, 7, 6};
+        opts.executor = &executor();
+        opts.exec_run.prec = PrecisionConfig::anda(opts.tuple);
+        opts.exec_seed = 7;
+        return opts;
+    }
+
+    static ServingReport run(const ServingOptions &opts)
+    {
+        return simulate_serving(executor().config(),
+                                find_system("anda"), tech16(),
+                                generate_requests(exec_spec()), opts);
+    }
+};
+
+TEST_F(ServingExecutionTest, GeneratesEveryTokenDeterministically)
+{
+    const ServingReport a = run(exec_opts());
+    const ServingReport b = run(exec_opts());
+    EXPECT_TRUE(a.executed);
+    EXPECT_EQ(a.generated_checksum(), b.generated_checksum());
+    std::size_t generated = 0;
+    for (const auto &m : a.requests) {
+        ASSERT_EQ(m.tokens.size(),
+                  static_cast<std::size_t>(m.output_len))
+            << "id=" << m.id;
+        for (const int t : m.tokens) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, executor().dims().vocab);
+        }
+        generated += m.tokens.size();
+    }
+    EXPECT_EQ(generated, a.total_output_tokens);
+    // Different sampling seeds change the generated stream.
+    ServingOptions other = exec_opts();
+    other.exec_seed = 8;
+    other.exec_temperature = 1.0;
+    EXPECT_NE(run(other).generated_checksum(), a.generated_checksum());
+}
+
+TEST_F(ServingExecutionTest, ExecutionDoesNotPerturbPricing)
+{
+    ServingOptions priced_only = exec_opts();
+    priced_only.executor = nullptr;
+    const ServingReport priced = run(priced_only);
+    const ServingReport executed = run(exec_opts());
+    EXPECT_FALSE(priced.executed);
+    for (const auto &m : priced.requests) {
+        EXPECT_TRUE(m.tokens.empty());
+    }
+    ASSERT_EQ(executed.steps.size(), priced.steps.size());
+    for (std::size_t i = 0; i < executed.steps.size(); ++i) {
+        EXPECT_EQ(executed.steps[i].cycles, priced.steps[i].cycles);
+        EXPECT_EQ(executed.steps[i].prefill_tokens,
+                  priced.steps[i].prefill_tokens);
+        EXPECT_EQ(executed.steps[i].decode_tokens,
+                  priced.steps[i].decode_tokens);
+        EXPECT_EQ(executed.steps[i].cache_tokens,
+                  priced.steps[i].cache_tokens);
+    }
+    EXPECT_EQ(executed.makespan_s, priced.makespan_s);
+    EXPECT_EQ(executed.total_cycles, priced.total_cycles);
+    EXPECT_EQ(executed.peak_cache_tokens, priced.peak_cache_tokens);
+}
+
+TEST_F(ServingExecutionTest, TokensAreScheduleIndependent)
+{
+    // The same requests scheduled with a different batch/budget (and
+    // hence different step boundaries and decode batch compositions)
+    // must generate identical tokens: per-request sampling streams and
+    // bit-exact ragged decode make generation a pure function of the
+    // request, not of the schedule.
+    const ServingReport a = run(exec_opts());
+    ServingOptions reshaped = exec_opts();
+    reshaped.max_batch = 2;
+    reshaped.max_step_tokens = 9;
+    const ServingReport b = run(reshaped);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].tokens, b.requests[i].tokens)
+            << "id=" << a.requests[i].id;
+    }
+}
+
+TEST_F(ServingExecutionTest, RejectsRequestsBeyondExecutorMaxSeq)
+{
+    RequestStreamSpec spec = exec_spec();
+    spec.prompt_max = 200;  // 200 + output - 1 > max_seq = 128.
+    spec.prompt_min = 150;
+    EXPECT_THROW(simulate_serving(executor().config(),
+                                  find_system("anda"), tech16(),
+                                  generate_requests(spec), exec_opts()),
+                 std::invalid_argument);
 }
 
 TEST_F(ServingSimTest, RejectsDegenerateInputs)

@@ -9,7 +9,11 @@
 //    evaluated through Transformer::batch_nll on a tiny model, must
 //    equal per-sequence evaluation exactly (the serving system runs
 //    on the same packed ragged forward pass the accuracy substrate
-//    uses).
+//    uses);
+//  * execution mode — the same stream scheduled with a live executor
+//    must generate every output token deterministically, conserve the
+//    token counts, and leave the step log (costs, token counts, cache
+//    occupancy) bit-identical to the pricing-only run.
 // Registered as the `serving_smoke` ctest so the serving path runs
 // under the sanitizer CI lane; writes serving_smoke_summary.txt
 // (uploaded as a CI artifact).
@@ -133,7 +137,7 @@ main()
     tiny.sim.n_heads = 2;
     tiny.sim.d_ffn = 128;
     tiny.sim.vocab = 64;
-    tiny.sim.max_seq = 32;
+    tiny.sim.max_seq = 64;
     const Transformer tf(tiny);
     RunOptions run_opts;
     run_opts.prec = PrecisionConfig::anda(opts.tuple);
@@ -153,7 +157,65 @@ main()
         }
     }
 
-    const std::string summary = report.summary();
+    // --- Execution mode: generate for real, verify the scheduler is
+    // unperturbed. tiny shares llama-7b's real (pricing) dims, so the
+    // executed run must replay the priced run's step log exactly.
+    ServingOptions exec_opts = opts;
+    exec_opts.executor = &tf;
+    exec_opts.exec_run = run_opts;
+    exec_opts.exec_seed = spec.seed;
+    const ServingReport ex1 =
+        simulate_serving(tiny, system, tech16(), requests, exec_opts);
+    const ServingReport ex2 =
+        simulate_serving(tiny, system, tech16(), requests, exec_opts);
+    if (!ex1.executed ||
+        ex1.generated_checksum() != ex2.generated_checksum()) {
+        fail("executed generation is not deterministic");
+    }
+    if (ex1.steps.size() != report.steps.size()) {
+        fail("execution changed the number of scheduler steps");
+    } else {
+        for (std::size_t i = 0; i < ex1.steps.size(); ++i) {
+            const ServingStep &a = ex1.steps[i];
+            const ServingStep &b = report.steps[i];
+            if (a.start_s != b.start_s || a.cycles != b.cycles ||
+                a.prefill_tokens != b.prefill_tokens ||
+                a.decode_tokens != b.decode_tokens ||
+                a.running != b.running ||
+                a.cache_tokens != b.cache_tokens) {
+                fail("executed step " + std::to_string(i) +
+                     " diverges from the pricing-only step log");
+            }
+        }
+    }
+    if (ex1.makespan_s != report.makespan_s ||
+        ex1.total_cycles != report.total_cycles) {
+        fail("execution perturbed the priced timeline");
+    }
+    std::size_t generated = 0;
+    for (const RequestMetrics &m : ex1.requests) {
+        if (m.tokens.size() != static_cast<std::size_t>(m.output_len)) {
+            fail("request " + std::to_string(m.id) +
+                 " generated a wrong token count");
+        }
+        for (const int t : m.tokens) {
+            if (t < 0 || t >= tiny.sim.vocab) {
+                fail("request " + std::to_string(m.id) +
+                     " generated an out-of-vocab token");
+            }
+        }
+        generated += m.tokens.size();
+    }
+    if (generated != ex1.total_output_tokens) {
+        fail("executed tokens do not conserve the output count");
+    }
+    for (const RequestMetrics &m : report.requests) {
+        if (!m.tokens.empty()) {
+            fail("pricing-only run unexpectedly carries tokens");
+        }
+    }
+
+    const std::string summary = report.summary() + ex1.summary();
     std::fputs(summary.c_str(), stdout);
     std::ofstream("serving_smoke_summary.txt") << summary;
 
