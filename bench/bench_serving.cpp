@@ -145,6 +145,100 @@ main()
               "bursts.");
     std::fputs(run_report.summary().c_str(), stdout);
 
+    // --- Paged KV under overload: the same burst stream scheduled
+    // against one fixed memory budget under each cache policy. The
+    // prompt-gated slab admits optimistically and overshoots the
+    // budget during decode (a real deployment OOMs); the reserving
+    // slab stays under it but strangles concurrency; the paged pool
+    // rides out the overload by preempting and never exceeds its
+    // page budget. Pricing-only — the policies shape admission and
+    // step composition, which is all the perf model needs.
+    {
+        RequestStreamSpec burst = base;
+        burst.arrival_rate = 0.0;
+        const auto burst_requests = generate_requests(burst);
+        const AcceleratorConfig &anda_sys = find_system("anda");
+        const std::size_t page_size = 32;
+        const std::size_t page_budget = 48;  // = 1536 rows; worst-case
+                                             // footprint is 639 rows.
+        const std::size_t budget_rows = page_budget * page_size;
+
+        ServingOptions common;
+        common.max_batch = 8;
+        common.max_step_tokens = 256;
+        common.tuple = {8, 7, 7, 6};
+
+        struct PolicyRow {
+            std::string label;
+            ServingOptions opts;
+        };
+        std::vector<PolicyRow> rows;
+        {
+            PolicyRow slab{"slab prompt-gated", common};
+            slab.opts.max_cache_tokens = budget_rows;
+            rows.push_back(slab);
+            PolicyRow reserve{"slab reserving", common};
+            reserve.opts.cache_policy = CachePolicy::kSlabReserve;
+            reserve.opts.max_cache_tokens = budget_rows;
+            rows.push_back(reserve);
+            PolicyRow recompute{"paged recompute", common};
+            recompute.opts.cache_policy = CachePolicy::kPaged;
+            recompute.opts.page_size = page_size;
+            recompute.opts.page_budget = page_budget;
+            recompute.opts.preempt = PreemptPolicy::kRecompute;
+            rows.push_back(recompute);
+            PolicyRow swap = recompute;
+            swap.label = "paged swap";
+            swap.opts.preempt = PreemptPolicy::kSwap;
+            rows.push_back(swap);
+            PolicyRow prefix = swap;
+            prefix.label = "paged swap +prefix";
+            prefix.opts.shared_prefix_len = 64;
+            rows.push_back(prefix);
+        }
+
+        Table table({"policy", "makespan [ms]", "peak cache [tok]",
+                     "peak pages", "preempt", "frag [%]",
+                     "reuse [tok]", "recompute [tok]"});
+        table.set_title(
+            "Paged KV under overload: " +
+            std::to_string(base.n_requests) + " burst requests on " +
+            model.name + ", KV budget " + std::to_string(budget_rows) +
+            " rows (" + std::to_string(page_budget) + " pages x " +
+            std::to_string(page_size) + ")");
+        for (const PolicyRow &row : rows) {
+            const ServingReport r =
+                simulate_serving(model, anda_sys, tech16(),
+                                 burst_requests, row.opts);
+            const bool paged =
+                row.opts.cache_policy == CachePolicy::kPaged;
+            std::string peak_cache = std::to_string(r.peak_cache_tokens);
+            // Resident rows above the budget mean OOM only for slabs;
+            // under paging with a shared prefix, adopted pages count
+            // once while their rows count once per adopting sequence.
+            if (!paged && r.peak_cache_tokens > budget_rows) {
+                peak_cache += " (OOM)";
+            }
+            table.add_row(
+                {row.label, fmt(r.makespan_s * 1e3, 1), peak_cache,
+                 paged ? std::to_string(r.peak_used_pages) + "/" +
+                             std::to_string(page_budget)
+                       : "-",
+                 std::to_string(r.preemptions),
+                 paged ? fmt(r.mean_fragmentation() * 100.0, 1) : "-",
+                 std::to_string(r.reused_prefix_tokens),
+                 std::to_string(r.recomputed_tokens)});
+        }
+        std::fputs(table.to_string().c_str(), stdout);
+        std::puts(
+            "paged rows never exceed the budget: under overload the\n"
+            "scheduler preempts the youngest resident (swap restores\n"
+            "its K/V rows, recompute re-prefills them) instead of\n"
+            "overshooting; +prefix additionally adopts the shared\n"
+            "system-prompt pages copy-on-extend at admission.");
+        std::puts("");
+    }
+
     // --- Execution mode: generate tokens for real on the accuracy
     // substrate (sim dims), same scheduler, perf model still pricing
     // every executed step shape. Throughput here is host wall clock

@@ -75,9 +75,9 @@ KvCache::release()
 }
 
 void
-BatchKvCache::add(KvCache &cache)
+BatchKvCache::add(KvSeq &cache)
 {
-    for (const KvCache *c : caches_) {
+    for (const KvSeq *c : caches_) {
         if (c == &cache) {
             throw std::invalid_argument(
                 "BatchKvCache: duplicate cache in batch");
@@ -90,7 +90,7 @@ std::size_t
 BatchKvCache::total_length() const
 {
     std::size_t total = 0;
-    for (const KvCache *c : caches_) {
+    for (const KvSeq *c : caches_) {
         total += c->length();
     }
     return total;

@@ -3,27 +3,73 @@
 /// @file
 /// Per-sequence key/value caches for incremental decode.
 ///
-/// A KvCache holds the cached K/V rows of one sequence across all
-/// layers. Storage grows geometrically on demand from the actual
-/// prefix length (a cache never eagerly reserves max_seq rows — with
-/// max_batch concurrent sequences that would be prohibitive), and the
-/// committed length / allocated capacity are first-class accounting
-/// the serving scheduler reads as state. A BatchKvCache is a
-/// non-owning view packing B independent caches so one ragged decode
+/// KvSeq is the storage-layout interface the transformer decodes
+/// against: one cached sequence exposing committed length, growth, and
+/// row-level K/V access per layer. Two layouts implement it — the slab
+/// KvCache below (one contiguous per-layer block per sequence, grown
+/// geometrically) and the paged PagedKvCache (llm/kv_pages.h; fixed
+/// pages from a shared refcounted pool, prefix sharing, preemption
+/// support). Because the transformer only ever reads and writes single
+/// rows, decode is bit-identical across layouts. A BatchKvCache is a
+/// non-owning view packing B independent sequences so one ragged decode
 /// step (one new token per sequence, heterogeneous cache lengths) can
 /// run through the same fused GeMM taps as prefill — see
 /// Transformer::decode_step.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/matrix.h"
 
 namespace anda {
 
-/// Key/value cache of one sequence: per-layer [capacity x d_model]
-/// K and V row blocks, of which the first length() rows are committed.
-class KvCache {
+/// One cached sequence: committed K/V rows across all layers, with
+/// row-level access so the attention gather and the append path do not
+/// depend on the physical layout (contiguous slab or paged).
+class KvSeq {
+  public:
+    virtual ~KvSeq() = default;
+
+    virtual std::size_t n_layers() const = 0;
+    virtual std::size_t d_model() const = 0;
+    virtual std::size_t max_seq() const = 0;
+
+    /// Committed (cached) tokens.
+    virtual std::size_t length() const = 0;
+
+    /// Grows storage so at least `rows` cached rows fit, preserving
+    /// the committed prefix; called immediately before appending rows
+    /// [length(), rows). Throws std::invalid_argument when rows
+    /// exceeds max_seq (paged layouts additionally throw
+    /// std::runtime_error when the backing pool is exhausted).
+    virtual void reserve(std::size_t rows) = 0;
+
+    /// Commits `n` rows appended past length() via k_row()/v_row()
+    /// writes. The rows must already fit (reserve first).
+    virtual void advance(std::size_t n) = 0;
+
+    /// Row `pos` of the layer's K/V block; rows [0, length()) are
+    /// committed, rows past length() are writable scratch for the
+    /// step in flight (up to the reserved capacity).
+    virtual std::span<float> k_row(std::size_t layer,
+                                   std::size_t pos) = 0;
+    virtual std::span<float> v_row(std::size_t layer,
+                                   std::size_t pos) = 0;
+    virtual std::span<const float> k_row(std::size_t layer,
+                                         std::size_t pos) const = 0;
+    virtual std::span<const float> v_row(std::size_t layer,
+                                         std::size_t pos) const = 0;
+};
+
+/// Slab layout: per-layer [capacity x d_model] K and V row blocks, of
+/// which the first length() rows are committed. Storage grows
+/// geometrically on demand from the actual prefix length (a cache
+/// never eagerly reserves max_seq rows — with max_batch concurrent
+/// sequences that would be prohibitive), and the committed length /
+/// allocated capacity are first-class accounting the serving
+/// scheduler reads as state.
+class KvCache final : public KvSeq {
   public:
     /// An empty cache for a model with `n_layers` layers, head
     /// dimension summing to `d_model`, and a hard `max_seq` row bound.
@@ -31,12 +77,11 @@ class KvCache {
     KvCache(std::size_t n_layers, std::size_t d_model,
             std::size_t max_seq);
 
-    std::size_t n_layers() const { return k_.size(); }
-    std::size_t d_model() const { return d_model_; }
-    std::size_t max_seq() const { return max_seq_; }
+    std::size_t n_layers() const override { return k_.size(); }
+    std::size_t d_model() const override { return d_model_; }
+    std::size_t max_seq() const override { return max_seq_; }
+    std::size_t length() const override { return length_; }
 
-    /// Committed (cached) tokens.
-    std::size_t length() const { return length_; }
     /// Allocated rows per layer (>= length()).
     std::size_t capacity() const { return capacity_; }
     /// Allocated floats across all layers (K and V), the quantity a
@@ -46,15 +91,10 @@ class KvCache {
         return 2 * k_.size() * capacity_ * d_model_;
     }
 
-    /// Grows storage so at least `rows` cached rows fit, preserving
-    /// the committed prefix. Growth is geometric (capacity at least
-    /// doubles) so a decode loop performs O(log max_seq) copies.
-    /// Throws std::invalid_argument when rows exceeds max_seq.
-    void reserve(std::size_t rows);
-
-    /// Commits `n` rows appended past length() via k()/v() row writes.
-    /// The rows must already fit (reserve first).
-    void advance(std::size_t n);
+    /// Growth is geometric (capacity at least doubles) so a decode
+    /// loop performs O(log max_seq) copies.
+    void reserve(std::size_t rows) override;
+    void advance(std::size_t n) override;
 
     /// Forgets the committed tokens; allocated storage is kept for
     /// reuse.
@@ -62,9 +102,26 @@ class KvCache {
     /// Frees all storage and resets the length (slot recycling).
     void release();
 
-    /// Per-layer K/V row blocks; rows [0, length()) are committed,
-    /// rows [length(), capacity()) are writable scratch for the step
-    /// in flight.
+    std::span<float> k_row(std::size_t layer, std::size_t pos) override
+    {
+        return k_[layer].row(pos);
+    }
+    std::span<float> v_row(std::size_t layer, std::size_t pos) override
+    {
+        return v_[layer].row(pos);
+    }
+    std::span<const float> k_row(std::size_t layer,
+                                 std::size_t pos) const override
+    {
+        return k_[layer].row(pos);
+    }
+    std::span<const float> v_row(std::size_t layer,
+                                 std::size_t pos) const override
+    {
+        return v_[layer].row(pos);
+    }
+
+    /// Whole-block views of the slab layout (tests and tools).
     Matrix &k(std::size_t layer) { return k_[layer]; }
     Matrix &v(std::size_t layer) { return v_[layer]; }
     const Matrix &k(std::size_t layer) const { return k_[layer]; }
@@ -83,25 +140,26 @@ class KvCache {
 /// ragged decode batch. Sequence i of the packed activation matrix
 /// reads and extends seq(i); the caches must outlive the view, and
 /// must be distinct objects (add() throws on a duplicate — two slots
-/// writing one cache would silently corrupt it).
+/// writing one cache would silently corrupt it). Slab and paged
+/// sequences may mix freely within one batch.
 class BatchKvCache {
   public:
     BatchKvCache() = default;
 
-    void add(KvCache &cache);
+    void add(KvSeq &cache);
 
     std::size_t size() const { return caches_.size(); }
     bool empty() const { return caches_.empty(); }
 
-    KvCache &seq(std::size_t i) { return *caches_[i]; }
-    const KvCache &seq(std::size_t i) const { return *caches_[i]; }
+    KvSeq &seq(std::size_t i) { return *caches_[i]; }
+    const KvSeq &seq(std::size_t i) const { return *caches_[i]; }
 
     /// Sum of committed lengths across the packed caches (the
     /// scheduler's KV occupancy of this batch).
     std::size_t total_length() const;
 
   private:
-    std::vector<KvCache *> caches_;
+    std::vector<KvSeq *> caches_;
 };
 
 }  // namespace anda

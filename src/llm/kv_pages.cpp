@@ -1,0 +1,329 @@
+#include "llm/kv_pages.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace anda {
+
+KvPageAllocator::KvPageAllocator(std::size_t n_pages)
+    : refcount_(n_pages, 0)
+{
+    free_.reserve(n_pages);
+    // Popped from the back, so page 0 is handed out first.
+    for (std::size_t p = n_pages; p > 0; --p) {
+        free_.push_back(static_cast<PageId>(p - 1));
+    }
+}
+
+PageId
+KvPageAllocator::alloc()
+{
+    if (free_.empty()) {
+        throw std::runtime_error("KvPageAllocator: out of pages");
+    }
+    const PageId page = free_.back();
+    free_.pop_back();
+    assert(refcount_[page] == 0);
+    refcount_[page] = 1;
+    return page;
+}
+
+void
+KvPageAllocator::retain(PageId page)
+{
+    if (page >= refcount_.size() || refcount_[page] == 0) {
+        throw std::logic_error("KvPageAllocator: retain of dead page");
+    }
+    ++refcount_[page];
+}
+
+void
+KvPageAllocator::release(PageId page)
+{
+    if (page >= refcount_.size() || refcount_[page] == 0) {
+        throw std::logic_error(
+            "KvPageAllocator: release of dead page (double free?)");
+    }
+    if (--refcount_[page] == 0) {
+        free_.push_back(page);
+    }
+}
+
+std::uint32_t
+KvPageAllocator::refcount(PageId page) const
+{
+    if (page >= refcount_.size()) {
+        throw std::logic_error(
+            "KvPageAllocator: refcount of unknown page");
+    }
+    return refcount_[page];
+}
+
+KvPagePool::KvPagePool(std::size_t n_layers, std::size_t d_model,
+                       std::size_t max_seq, std::size_t page_size,
+                       std::size_t n_pages, bool with_storage)
+    : n_layers_(n_layers),
+      d_model_(d_model),
+      max_seq_(max_seq),
+      page_size_(page_size),
+      alloc_(n_pages)
+{
+    if (n_layers == 0 || d_model == 0 || max_seq == 0 ||
+        page_size == 0) {
+        throw std::invalid_argument("degenerate KvPagePool dimensions");
+    }
+    if (with_storage) {
+        k_.reserve(n_layers);
+        v_.reserve(n_layers);
+        for (std::size_t l = 0; l < n_layers; ++l) {
+            k_.emplace_back(n_pages * page_size, d_model);
+            v_.emplace_back(n_pages * page_size, d_model);
+        }
+    }
+}
+
+PagedKvCache::PagedKvCache(KvPagePool &pool) : pool_(&pool) {}
+
+PagedKvCache::~PagedKvCache()
+{
+    release_all();
+}
+
+std::size_t
+PagedKvCache::n_layers() const
+{
+    return pool_->n_layers();
+}
+
+std::size_t
+PagedKvCache::d_model() const
+{
+    return pool_->d_model();
+}
+
+std::size_t
+PagedKvCache::max_seq() const
+{
+    return pool_->max_seq();
+}
+
+std::size_t
+PagedKvCache::capacity() const
+{
+    return table_.size() * pool_->page_size();
+}
+
+std::size_t
+PagedKvCache::new_pages_needed(std::size_t rows) const
+{
+    const std::size_t ps = pool_->page_size();
+    std::size_t needed = 0;
+    // Extending past a committed partial tail page that other
+    // sequences also reference forces a private copy of that page.
+    if (rows > length_ && length_ % ps != 0 &&
+        pool_->allocator().refcount(table_.back()) > 1) {
+        needed += 1;
+    }
+    const std::size_t target = pages_for(rows, ps);
+    if (target > table_.size()) {
+        needed += target - table_.size();
+    }
+    return needed;
+}
+
+std::size_t
+PagedKvCache::max_extension(std::size_t avail_pages) const
+{
+    const std::size_t ps = pool_->page_size();
+    std::size_t avail = avail_pages;
+    if (length_ % ps != 0 && !table_.empty() &&
+        pool_->allocator().refcount(table_.back()) > 1) {
+        // Any extension pays the copy-on-extend page first.
+        if (avail == 0) {
+            return length_;
+        }
+        avail -= 1;
+    }
+    const std::size_t rows = capacity() + avail * ps;
+    return std::min(rows, pool_->max_seq());
+}
+
+void
+PagedKvCache::reserve(std::size_t rows)
+{
+    if (rows > pool_->max_seq()) {
+        throw std::invalid_argument(
+            "PagedKvCache: sequence exceeds max_seq");
+    }
+    const std::size_t needed = new_pages_needed(rows);
+    if (needed == 0) {
+        return;
+    }
+    KvPageAllocator &alloc = pool_->allocator();
+    if (needed > alloc.free_pages()) {
+        // Checked up front so a partial allocation never leaks into
+        // the table (strong guarantee for scheduler retry logic).
+        throw std::runtime_error("PagedKvCache: page pool exhausted");
+    }
+    const std::size_t ps = pool_->page_size();
+    if (rows > length_ && length_ % ps != 0 &&
+        alloc.refcount(table_.back()) > 1) {
+        // Copy-on-extend: the committed slots of the shared tail page
+        // move to a private page; the donor's page (and any rows it
+        // holds beyond our prefix) is untouched.
+        const PageId shared = table_.back();
+        const PageId priv = alloc.alloc();
+        if (pool_->with_storage()) {
+            for (std::size_t l = 0; l < pool_->n_layers(); ++l) {
+                for (std::size_t s = 0; s < length_ % ps; ++s) {
+                    const auto ks = pool_->k_slot(l, shared, s);
+                    const auto vs = pool_->v_slot(l, shared, s);
+                    std::copy(ks.begin(), ks.end(),
+                              pool_->k_slot(l, priv, s).begin());
+                    std::copy(vs.begin(), vs.end(),
+                              pool_->v_slot(l, priv, s).begin());
+                }
+            }
+        }
+        alloc.release(shared);
+        table_.back() = priv;
+    }
+    while (capacity() < rows) {
+        table_.push_back(alloc.alloc());
+    }
+}
+
+void
+PagedKvCache::advance(std::size_t n)
+{
+    if (length_ + n > capacity()) {
+        throw std::logic_error(
+            "PagedKvCache: advance past allocated capacity");
+    }
+    length_ += n;
+}
+
+std::span<float>
+PagedKvCache::k_row(std::size_t layer, std::size_t pos)
+{
+    assert(pool_->with_storage());
+    const std::size_t ps = pool_->page_size();
+    return pool_->k_slot(layer, table_[pos / ps], pos % ps);
+}
+
+std::span<float>
+PagedKvCache::v_row(std::size_t layer, std::size_t pos)
+{
+    assert(pool_->with_storage());
+    const std::size_t ps = pool_->page_size();
+    return pool_->v_slot(layer, table_[pos / ps], pos % ps);
+}
+
+std::span<const float>
+PagedKvCache::k_row(std::size_t layer, std::size_t pos) const
+{
+    assert(pool_->with_storage());
+    const std::size_t ps = pool_->page_size();
+    return pool_->k_slot(layer, table_[pos / ps], pos % ps);
+}
+
+std::span<const float>
+PagedKvCache::v_row(std::size_t layer, std::size_t pos) const
+{
+    assert(pool_->with_storage());
+    const std::size_t ps = pool_->page_size();
+    return pool_->v_slot(layer, table_[pos / ps], pos % ps);
+}
+
+void
+PagedKvCache::adopt_prefix(const PagedKvCache &donor,
+                           std::size_t tokens)
+{
+    if (length_ != 0 || !table_.empty()) {
+        throw std::logic_error(
+            "PagedKvCache: adopt_prefix into a non-empty sequence");
+    }
+    if (donor.pool_ != pool_) {
+        throw std::invalid_argument(
+            "PagedKvCache: adopt_prefix across pools");
+    }
+    if (tokens > donor.length_) {
+        throw std::invalid_argument(
+            "PagedKvCache: adopt_prefix past the donor's length");
+    }
+    const std::size_t n = pages_for(tokens, pool_->page_size());
+    KvPageAllocator &alloc = pool_->allocator();
+    table_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        alloc.retain(donor.table_[i]);
+        table_.push_back(donor.table_[i]);
+    }
+    length_ = tokens;
+}
+
+std::vector<float>
+PagedKvCache::swap_out()
+{
+    std::vector<float> data;
+    if (pool_->with_storage()) {
+        const std::size_t d = pool_->d_model();
+        data.reserve(2 * pool_->n_layers() * length_ * d);
+        for (std::size_t l = 0; l < pool_->n_layers(); ++l) {
+            for (std::size_t r = 0; r < length_; ++r) {
+                const auto ks = k_row(l, r);
+                const auto vs = v_row(l, r);
+                data.insert(data.end(), ks.begin(), ks.end());
+                data.insert(data.end(), vs.begin(), vs.end());
+            }
+        }
+    }
+    release_all();
+    return data;
+}
+
+void
+PagedKvCache::swap_in(std::span<const float> data, std::size_t rows)
+{
+    if (length_ != 0 || !table_.empty()) {
+        throw std::logic_error(
+            "PagedKvCache: swap_in into a non-empty sequence");
+    }
+    const std::size_t d = pool_->d_model();
+    if (pool_->with_storage()
+            ? data.size() != 2 * pool_->n_layers() * rows * d
+            : !data.empty()) {
+        throw std::invalid_argument(
+            "PagedKvCache: swap_in buffer size mismatch");
+    }
+    reserve(rows);
+    if (pool_->with_storage()) {
+        const float *src = data.data();
+        // advance() after filling; rows are written via the page
+        // table directly since reserve() has mapped them.
+        for (std::size_t l = 0; l < pool_->n_layers(); ++l) {
+            for (std::size_t r = 0; r < rows; ++r) {
+                auto ks = k_row(l, r);
+                auto vs = v_row(l, r);
+                std::copy(src, src + d, ks.begin());
+                src += d;
+                std::copy(src, src + d, vs.begin());
+                src += d;
+            }
+        }
+    }
+    length_ = rows;
+}
+
+void
+PagedKvCache::release_all()
+{
+    KvPageAllocator &alloc = pool_->allocator();
+    for (const PageId page : table_) {
+        alloc.release(page);
+    }
+    table_.clear();
+    length_ = 0;
+}
+
+}  // namespace anda

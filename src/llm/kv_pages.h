@@ -1,0 +1,219 @@
+#pragma once
+
+/// @file
+/// Paged KV cache: fixed-size pages from a shared refcounted pool.
+///
+/// The slab KvCache reserves one contiguous block per sequence and
+/// holds it until completion, so a serving scheduler must admit
+/// against the worst case (prompt + full output) and fragments what
+/// it does allocate. Paging — the vLLM design the PackInfer /
+/// Harmonia lines of work build on — breaks each sequence's K/V rows
+/// into fixed `page_size`-row pages drawn from one physical pool:
+///
+///  * KvPageAllocator owns the refcounted free list; free/used page
+///    counts are exact, first-class scheduler state.
+///  * KvPagePool couples an allocator with (optional) per-layer float
+///    storage, `n_pages * page_size` rows per layer for K and V.
+///  * PagedKvCache is one sequence: a page table mapping logical row
+///    r to (table_[r / page_size], slot r % page_size). It implements
+///    KvSeq, so the transformer decodes through it bit-identically to
+///    a slab cache.
+///
+/// Prefix sharing: adopt_prefix() maps a donor's pages into this
+/// sequence's table (refcount bump, zero allocation, zero copies).
+/// A shared tail page is copy-on-extend: the first reserve() that
+/// appends into it allocates a private copy of the committed rows.
+/// Preemption: swap_out() serializes the committed rows and releases
+/// every page; swap_in() reloads them into freshly allocated pages.
+///
+/// Pool storage is plain float (fp32) regardless of the activation
+/// format under evaluation — matching KvCache, which also caches the
+/// post-tap fp32 K/V rows. Paging changes where rows live, never
+/// their values.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "llm/kv_cache.h"
+
+namespace anda {
+
+using PageId = std::uint32_t;
+
+/// Refcounted fixed-population page allocator. alloc() hands out a
+/// free page with refcount 1; retain()/release() adjust sharing;
+/// a page returns to the free list when its count drops to zero.
+/// free_pages() + used_pages() == total_pages() always.
+class KvPageAllocator {
+  public:
+    explicit KvPageAllocator(std::size_t n_pages);
+
+    std::size_t total_pages() const { return refcount_.size(); }
+    std::size_t free_pages() const { return free_.size(); }
+    std::size_t used_pages() const
+    {
+        return refcount_.size() - free_.size();
+    }
+
+    /// Pops a free page (refcount 1). Throws std::runtime_error when
+    /// the pool is exhausted — schedulers must check free_pages()
+    /// before committing to an allocation.
+    PageId alloc();
+
+    /// Adds a reference to a live page.
+    void retain(PageId page);
+
+    /// Drops a reference; the page is freed at zero. Releasing a dead
+    /// page throws std::logic_error (double-free guard).
+    void release(PageId page);
+
+    std::uint32_t refcount(PageId page) const;
+
+  private:
+    std::vector<std::uint32_t> refcount_;
+    std::vector<PageId> free_;
+};
+
+/// A page allocator plus the physical K/V storage pages index into.
+/// With `with_storage == false` the pool is accounting-only: page
+/// tables, refcounts, and occupancy behave identically but no floats
+/// are backed — the serving scheduler uses this in pricing-only mode
+/// so paging decisions (admission, preemption) are bit-identical
+/// between priced and executed runs.
+class KvPagePool {
+  public:
+    KvPagePool(std::size_t n_layers, std::size_t d_model,
+               std::size_t max_seq, std::size_t page_size,
+               std::size_t n_pages, bool with_storage = true);
+
+    std::size_t n_layers() const { return n_layers_; }
+    std::size_t d_model() const { return d_model_; }
+    std::size_t max_seq() const { return max_seq_; }
+    std::size_t page_size() const { return page_size_; }
+    bool with_storage() const { return !k_.empty(); }
+
+    KvPageAllocator &allocator() { return alloc_; }
+    const KvPageAllocator &allocator() const { return alloc_; }
+
+    /// Row `slot` of `page` in the layer's K (resp. V) storage.
+    /// Only valid on a pool with storage.
+    std::span<float> k_slot(std::size_t layer, PageId page,
+                            std::size_t slot)
+    {
+        return k_[layer].row(page * page_size_ + slot);
+    }
+    std::span<float> v_slot(std::size_t layer, PageId page,
+                            std::size_t slot)
+    {
+        return v_[layer].row(page * page_size_ + slot);
+    }
+    std::span<const float> k_slot(std::size_t layer, PageId page,
+                                  std::size_t slot) const
+    {
+        return k_[layer].row(page * page_size_ + slot);
+    }
+    std::span<const float> v_slot(std::size_t layer, PageId page,
+                                  std::size_t slot) const
+    {
+        return v_[layer].row(page * page_size_ + slot);
+    }
+
+  private:
+    std::size_t n_layers_ = 0;
+    std::size_t d_model_ = 0;
+    std::size_t max_seq_ = 0;
+    std::size_t page_size_ = 0;
+    KvPageAllocator alloc_;
+    std::vector<Matrix> k_;
+    std::vector<Matrix> v_;
+};
+
+/// One sequence over a shared KvPagePool. Unlike the slab cache,
+/// reserve() allocates exactly the pages needed (no geometric slack):
+/// a sequence of length L holds ceil(L / page_size) pages, so waste
+/// is bounded by one partial tail page per sequence — the
+/// fragmentation the per-step report tracks.
+class PagedKvCache final : public KvSeq {
+  public:
+    explicit PagedKvCache(KvPagePool &pool);
+    ~PagedKvCache() override;
+
+    PagedKvCache(const PagedKvCache &) = delete;
+    PagedKvCache &operator=(const PagedKvCache &) = delete;
+
+    std::size_t n_layers() const override;
+    std::size_t d_model() const override;
+    std::size_t max_seq() const override;
+    std::size_t length() const override { return length_; }
+
+    /// Pages this sequence references (shared pages count once here
+    /// and once per other holder in the allocator's refcounts).
+    std::size_t pages_held() const { return table_.size(); }
+    /// Rows the held pages can store.
+    std::size_t capacity() const;
+
+    /// Allocates pages so `rows` rows fit, performing the
+    /// copy-on-extend of a shared tail page when growing past a
+    /// shared boundary. Throws std::invalid_argument past max_seq
+    /// and std::runtime_error when the pool is exhausted (strong
+    /// guarantee: the sequence is unchanged on throw).
+    void reserve(std::size_t rows) override;
+    void advance(std::size_t n) override;
+
+    std::span<float> k_row(std::size_t layer, std::size_t pos) override;
+    std::span<float> v_row(std::size_t layer, std::size_t pos) override;
+    std::span<const float> k_row(std::size_t layer,
+                                 std::size_t pos) const override;
+    std::span<const float> v_row(std::size_t layer,
+                                 std::size_t pos) const override;
+
+    /// Maps the donor's first ceil(tokens/page_size) pages into this
+    /// (empty) sequence: refcounts bump, no pages are allocated, no
+    /// floats are copied, and length() becomes `tokens`. The donor
+    /// must have committed at least `tokens` rows and stay alive only
+    /// as long as the refcounts demand (i.e. not at all — pages keep
+    /// themselves alive). A partial tail page is shared too; the
+    /// first reserve() extending into it copies on extend.
+    void adopt_prefix(const PagedKvCache &donor, std::size_t tokens);
+
+    /// Pages a reserve(rows) would allocate right now, counting the
+    /// copy-on-extend of a shared tail page. The scheduler's
+    /// admission/preemption loops budget with this before touching
+    /// the allocator.
+    std::size_t new_pages_needed(std::size_t rows) const;
+
+    /// Largest row count this sequence can grow to using at most
+    /// `avail_pages` fresh pages (capped at max_seq). Inverse of
+    /// new_pages_needed for chunk planning under a page budget.
+    std::size_t max_extension(std::size_t avail_pages) const;
+
+    /// Preempt: serializes the committed rows (layer-major K then V
+    /// per row; empty when the pool is accounting-only), then
+    /// releases every page and zeroes the length. The returned buffer
+    /// feeds swap_in() on readmission.
+    std::vector<float> swap_out();
+
+    /// Readmit: restores `rows` committed rows from a swap_out()
+    /// buffer into freshly allocated pages. The sequence must be
+    /// empty; any sharing the sequence had before preemption is gone
+    /// (the restored pages are private).
+    void swap_in(std::span<const float> data, std::size_t rows);
+
+    /// Releases every page and zeroes the length (slot recycling).
+    void release_all();
+
+    static std::size_t pages_for(std::size_t rows,
+                                 std::size_t page_size)
+    {
+        return (rows + page_size - 1) / page_size;
+    }
+
+  private:
+    KvPagePool *pool_ = nullptr;
+    std::size_t length_ = 0;
+    std::vector<PageId> table_;
+};
+
+}  // namespace anda

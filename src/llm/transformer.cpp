@@ -304,18 +304,19 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     if (kv != nullptr) {
         // Incremental decode: append each sequence's new rows to its
         // cache (rows are cache-absolute, continuing the prefix).
+        // Row-by-row through KvSeq, so the physical layout (slab or
+        // paged) is the cache's business.
         std::size_t off = 0;
         for (std::size_t s = 0; s < seq_lens.size(); ++s) {
-            KvCache &c = kv->seq(s);
-            Matrix &kc = c.k(layer);
-            Matrix &vc = c.v(layer);
+            KvSeq &c = kv->seq(s);
             const std::size_t base = c.length();
-            assert(base + seq_lens[s] <= c.capacity());
             for (std::size_t t = 0; t < seq_lens[s]; ++t) {
-                std::copy(k.row(off + t).begin(), k.row(off + t).end(),
-                          kc.row(base + t).begin());
-                std::copy(v.row(off + t).begin(), v.row(off + t).end(),
-                          vc.row(base + t).begin());
+                const auto ks = k.row(off + t);
+                const auto vs = v.row(off + t);
+                std::copy(ks.begin(), ks.end(),
+                          c.k_row(layer, base + t).begin());
+                std::copy(vs.begin(), vs.end(),
+                          c.v_row(layer, base + t).begin());
             }
             off += seq_lens[s];
         }
@@ -329,6 +330,12 @@ Transformer::run_block(std::size_t layer, Matrix &x,
         Matrix kh;
         Matrix vh;
         Matrix oh;
+        // Per-row K/V source spans of the current sequence, resolved
+        // once per sequence (not once per head): with a cache the
+        // rows come through the KvSeq page/slab indirection; without
+        // one, from the local projection block.
+        std::vector<std::span<const float>> krows;
+        std::vector<std::span<const float>> vrows;
         std::size_t r0 = 0;
         for (std::size_t s = 0; s < seq_lens.size(); ++s) {
             const std::size_t len = seq_lens[s];
@@ -339,11 +346,20 @@ Transformer::run_block(std::size_t layer, Matrix &x,
             const std::size_t base =
                 kv != nullptr ? kv->seq(s).length() : 0;
             const std::size_t kv_len = base + len;
-            const std::size_t kv0 = kv != nullptr ? 0 : r0;
-            const Matrix *k_src =
-                kv != nullptr ? &kv->seq(s).k(layer) : &k;
-            const Matrix *v_src =
-                kv != nullptr ? &kv->seq(s).v(layer) : &v;
+            krows.resize(kv_len);
+            vrows.resize(kv_len);
+            if (kv != nullptr) {
+                const KvSeq &c = kv->seq(s);
+                for (std::size_t t = 0; t < kv_len; ++t) {
+                    krows[t] = c.k_row(layer, t);
+                    vrows[t] = c.v_row(layer, t);
+                }
+            } else {
+                for (std::size_t t = 0; t < kv_len; ++t) {
+                    krows[t] = k.row(r0 + t);
+                    vrows[t] = v.row(r0 + t);
+                }
+            }
             if (qh.rows() != len) {
                 qh = Matrix(len, hd);
                 oh = Matrix(len, hd);
@@ -360,10 +376,8 @@ Transformer::run_block(std::size_t layer, Matrix &x,
                               qh.row(t).begin());
                 }
                 for (std::size_t t = 0; t < kv_len; ++t) {
-                    const auto ks =
-                        k_src->row(kv0 + t).subspan(h * hd, hd);
-                    const auto vs =
-                        v_src->row(kv0 + t).subspan(h * hd, hd);
+                    const auto ks = krows[t].subspan(h * hd, hd);
+                    const auto vs = vrows[t].subspan(h * hd, hd);
                     std::copy(ks.begin(), ks.end(), kh.row(t).begin());
                     std::copy(vs.begin(), vs.end(), vh.row(t).begin());
                 }
@@ -474,7 +488,7 @@ Transformer::forward_hidden(std::span<const int> tokens_flat,
             throw std::invalid_argument("empty sequence in batch");
         }
         if (kv != nullptr) {
-            const KvCache &c = kv->seq(s);
+            const KvSeq &c = kv->seq(s);
             if (c.n_layers() != layers_.size() ||
                 c.d_model() !=
                     static_cast<std::size_t>(cfg_.sim.d_model) ||
@@ -496,9 +510,9 @@ Transformer::forward_hidden(std::span<const int> tokens_flat,
             "packed token buffer does not match sequence lengths");
     }
     if (kv != nullptr) {
-        // One geometric growth per step, after all validation (a
-        // throwing call must not mutate any cache) and before any
-        // layer writes.
+        // One growth per step (geometric for slabs, exact pages for
+        // paged caches), after all validation (a throwing call must
+        // not mutate any cache) and before any layer writes.
         for (std::size_t s = 0; s < seq_lens.size(); ++s) {
             kv->seq(s).reserve(kv->seq(s).length() + seq_lens[s]);
         }
@@ -534,7 +548,7 @@ Transformer::make_cache() const
 }
 
 std::vector<float>
-Transformer::prefill(KvCache &cache, std::span<const int> tokens,
+Transformer::prefill(KvSeq &cache, std::span<const int> tokens,
                      const RunOptions &opts, bool want_logits) const
 {
     BatchKvCache batch;

@@ -103,13 +103,15 @@ class Transformer {
 
     /// Runs `tokens` through the model continuing the sequence cached
     /// in `cache` (positions start at cache.length(); an empty cache
-    /// prefills from position 0), appending their K/V rows. Returns
-    /// the logits row of the last token [vocab] — what the first
-    /// generated token is sampled from — bit-identical to the
-    /// corresponding row of a full-prefix forward_logits call. Pass
-    /// want_logits = false on intermediate chunks of a chunked
-    /// prefill to skip the O(vocab·d) logit head (returns empty).
-    std::vector<float> prefill(KvCache &cache,
+    /// prefills from position 0), appending their K/V rows. The cache
+    /// may be any KvSeq layout — slab or paged; decode is
+    /// bit-identical either way. Returns the logits row of the last
+    /// token [vocab] — what the first generated token is sampled from
+    /// — bit-identical to the corresponding row of a full-prefix
+    /// forward_logits call. Pass want_logits = false on intermediate
+    /// chunks of a chunked prefill to skip the O(vocab·d) logit head
+    /// (returns empty).
+    std::vector<float> prefill(KvSeq &cache,
                                std::span<const int> tokens,
                                const RunOptions &opts,
                                bool want_logits = true) const;
@@ -155,7 +157,9 @@ class Transformer {
     /// packed sequence), sequence i appends its rows to
     /// kv->seq(i) at positions continuing from seq(i).length() and
     /// attends over its full cached prefix; the caller commits the
-    /// lengths (KvCache::advance) after all layers ran.
+    /// lengths (KvSeq::advance) after all layers ran. All cache
+    /// access is row-by-row through the KvSeq interface, so slab and
+    /// paged layouts take the identical compute path.
     void run_block(std::size_t layer, Matrix &x, const RunOptions &opts,
                    BatchKvCache *kv,
                    std::span<const std::size_t> seq_lens) const;

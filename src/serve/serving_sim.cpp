@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <deque>
 #include <iomanip>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "llm/kv_pages.h"
 #include "llm/ops.h"
 
 namespace anda {
@@ -16,28 +18,42 @@ namespace anda {
 namespace {
 
 /// A request in flight: index into the metrics array plus progress.
+/// `resident` counts the rows its cache currently holds (adopted
+/// prefix + prefilled prompt + decode appends) — the quantity every
+/// occupancy gate and page plan reads.
 struct Running {
     std::size_t idx = 0;
     std::size_t remaining_prefill = 0;
     std::size_t remaining_output = 0;
+    std::size_t resident = 0;
 };
 
-/// Execution-mode state of one admitted request: its synthetic prompt,
-/// its KV cache, and its private sampling stream (schedule-independent
-/// by construction).
+/// A preempted request waiting to be readmitted (kPaged only).
+struct Preempted {
+    std::size_t idx = 0;
+    std::size_t resident = 0;
+    std::size_t remaining_prefill = 0;
+    std::size_t remaining_output = 0;
+    bool swapped = false;
+    std::vector<float> swap;
+};
+
+/// Execution-mode state of one admitted request: its synthetic prompt
+/// and its private sampling stream (schedule-independent by
+/// construction). The KV cache lives outside so the scheduler can
+/// manage slab and paged layouts uniformly.
 struct ExecRequest {
     ExecRequest(const Transformer &tf, const Request &r,
-                std::uint64_t seed)
+                std::uint64_t seed, int shared_prefix_len)
         : prompt(exec_prompt_tokens(tf.dims().vocab, r.prompt_len, seed,
-                                    r.id)),
-          cache(tf.make_cache()),
+                                    r.id, shared_prefix_len)),
           rng(exec_sampler_seed(seed, r.id))
     {
     }
     std::vector<int> prompt;
-    KvCache cache;
     SplitMix64 rng;
-    /// Input of the next decode step (the last emitted token).
+    /// Input of the next decode step (the last emitted token;
+    /// preserved across preemptions).
     int last_token = 0;
 };
 
@@ -122,6 +138,28 @@ ServingReport::mean_decode_s_per_token() const
     return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
+double
+ServingReport::mean_fragmentation() const
+{
+    if (page_size == 0) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const ServingStep &s : steps) {
+        if (s.used_pages == 0) {
+            continue;
+        }
+        const double slots = static_cast<double>(s.used_pages) *
+                             static_cast<double>(page_size);
+        const double util =
+            std::min(1.0, static_cast<double>(s.cache_tokens) / slots);
+        sum += 1.0 - util;
+        ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
 std::uint64_t
 ServingReport::generated_checksum() const
 {
@@ -158,6 +196,14 @@ ServingReport::summary() const
         << mean_decode_s_per_token() * 1e3 << " ms/tok; "
         << steps.size() << " steps, peak batch " << peak_batch
         << ", peak cache " << peak_cache_tokens << " tok";
+    if (page_budget > 0) {
+        out << "; paged " << peak_used_pages << "/" << page_budget
+            << " peak pages x" << page_size << ", " << preemptions
+            << " preempt / " << readmits << " readmit, frag "
+            << std::setprecision(1) << mean_fragmentation() * 100.0
+            << "%, reuse " << reused_prefix_tokens << " tok, recompute "
+            << recomputed_tokens << " tok" << std::setprecision(3);
+    }
     if (executed) {
         out << "; executed checksum " << std::hex
             << generated_checksum() << std::dec;
@@ -168,17 +214,30 @@ ServingReport::summary() const
 
 std::vector<int>
 exec_prompt_tokens(int vocab, int prompt_len, std::uint64_t seed,
-                   int id)
+                   int id, int shared_prefix_len)
 {
-    if (vocab < 1 || prompt_len < 1) {
+    if (vocab < 1 || prompt_len < 1 || shared_prefix_len < 0) {
         throw std::invalid_argument("bad prompt spec");
     }
     std::vector<int> prompt(static_cast<std::size_t>(prompt_len));
     prompt[0] = 0;  // BOS, matching the teacher's convention.
+    // The shared system-prompt head comes from a stream derived from
+    // the seed alone (stream index ~0 is far from the per-id 2*id /
+    // 2*id+1 streams), so every request draws the identical prefix.
+    const std::size_t shared = std::min(
+        static_cast<std::size_t>(shared_prefix_len), prompt.size());
+    if (shared > 1) {
+        SplitMix64 rng(derive_seed(seed, ~0ull));
+        for (std::size_t t = 1; t < shared; ++t) {
+            prompt[t] = static_cast<int>(
+                rng.uniform_index(static_cast<std::uint64_t>(vocab)));
+        }
+    }
     SplitMix64 rng(derive_seed(
         seed, 2 * static_cast<std::uint64_t>(static_cast<unsigned>(id)) +
                   1));
-    for (std::size_t t = 1; t < prompt.size(); ++t) {
+    for (std::size_t t = std::max<std::size_t>(shared, 1);
+         t < prompt.size(); ++t) {
         prompt[t] = static_cast<int>(
             rng.uniform_index(static_cast<std::uint64_t>(vocab)));
     }
@@ -223,15 +282,38 @@ simulate_serving(const ModelConfig &model,
         throw std::invalid_argument("zero serving batch or budget");
     }
     const bool exec = opts.executor != nullptr;
+    const bool paged = opts.cache_policy == CachePolicy::kPaged;
+    const std::size_t ps = opts.page_size;
+    if (paged && (ps == 0 || opts.page_budget == 0)) {
+        throw std::invalid_argument("paged serving needs a page budget");
+    }
+    const std::size_t shared_len =
+        opts.shared_prefix_len > 0
+            ? static_cast<std::size_t>(opts.shared_prefix_len)
+            : 0;
+    std::size_t max_rows = 1;   // Largest single-request footprint.
+    std::size_t max_prompt = 0;
     for (const Request &r : requests) {
         if (r.prompt_len < 1 || r.output_len < 1) {
             throw std::invalid_argument("bad request lengths");
         }
-        if (opts.max_cache_tokens > 0 &&
+        max_rows = std::max(
+            max_rows, static_cast<std::size_t>(r.prompt_len) +
+                          static_cast<std::size_t>(r.output_len) - 1);
+        max_prompt =
+            std::max(max_prompt, static_cast<std::size_t>(r.prompt_len));
+        if (!paged && opts.max_cache_tokens > 0 &&
             static_cast<std::size_t>(r.prompt_len) >
                 opts.max_cache_tokens) {
             throw std::invalid_argument(
                 "prompt cannot pass the cache admission gate");
+        }
+        if (opts.cache_policy == CachePolicy::kSlabReserve &&
+            opts.max_cache_tokens > 0 &&
+            static_cast<std::size_t>(r.prompt_len) + r.output_len - 1 >
+                opts.max_cache_tokens) {
+            throw std::invalid_argument(
+                "request footprint cannot pass the reserve gate");
         }
         // A request caches prompt_len + output_len - 1 rows (every
         // decode input appends one); it must fit the executor.
@@ -241,10 +323,31 @@ simulate_serving(const ModelConfig &model,
                 "request exceeds the executor's max_seq");
         }
     }
+    if (paged) {
+        // Every request must be schedulable alone: its own worst-case
+        // pages, the shared-prefix anchor's pages, and one
+        // copy-on-extend page of slack.
+        const std::size_t anchor_bound = PagedKvCache::pages_for(
+            std::min(shared_len, max_prompt), ps);
+        for (const Request &r : requests) {
+            const std::size_t rows =
+                static_cast<std::size_t>(r.prompt_len) +
+                static_cast<std::size_t>(r.output_len) - 1;
+            if (PagedKvCache::pages_for(rows, ps) + anchor_bound + 1 >
+                opts.page_budget) {
+                throw std::invalid_argument(
+                    "request cannot fit the page budget");
+            }
+        }
+    }
 
     ServingReport report;
     report.model = model.name;
     report.system = system.name;
+    if (paged) {
+        report.page_size = ps;
+        report.page_budget = opts.page_budget;
+    }
 
     // FCFS admission order: by arrival time, ids breaking ties.
     std::vector<const Request *> queue;
@@ -275,72 +378,271 @@ simulate_serving(const ModelConfig &model,
     report.executed = exec;
     std::vector<std::unique_ptr<ExecRequest>> exec_state(queue.size());
 
+    // The page pool: real storage when executing, accounting-only in
+    // pricing mode — both take the identical allocate/share/preempt
+    // sequence, so page counts (and hence every scheduling decision)
+    // are bit-identical between priced and executed runs.
+    std::unique_ptr<KvPagePool> pool;
+    if (paged) {
+        if (exec) {
+            const ModelDims &d = opts.executor->dims();
+            pool = std::make_unique<KvPagePool>(
+                static_cast<std::size_t>(d.n_layers),
+                static_cast<std::size_t>(d.d_model),
+                static_cast<std::size_t>(d.max_seq), ps,
+                opts.page_budget, true);
+        } else {
+            pool = std::make_unique<KvPagePool>(
+                1, 1, max_rows, ps, opts.page_budget, false);
+        }
+    }
+    std::vector<std::unique_ptr<PagedKvCache>> pcache(queue.size());
+    std::vector<std::unique_ptr<KvCache>> scache(queue.size());
+    const auto cache_of = [&](std::size_t idx) -> KvSeq & {
+        return paged ? static_cast<KvSeq &>(*pcache[idx])
+                     : static_cast<KvSeq &>(*scache[idx]);
+    };
+
+    // Shared-prefix anchor: adopts the first admitted request's
+    // prefix pages once they are committed; later admissions adopt
+    // from the anchor (so the pages survive the producer).
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::unique_ptr<PagedKvCache> anchor;
+    std::size_t producer = kNone;
+    std::size_t anchor_target = 0;
+
     std::vector<Running> running;
     running.reserve(opts.max_batch);
+    std::deque<Preempted> preempted_q;
     std::size_t next = 0;  // Queue cursor.
     double now = 0.0;
-    // KV occupancy the admission gate budgets against: rows resident
-    // in caches plus the still-to-prefill prompt rows of admitted
-    // requests (their allocation is committed even before it lands).
+    // Slab-gate occupancy: rows resident in caches plus the
+    // still-to-prefill prompt rows of admitted requests (kSlabPrompt),
+    // or the summed worst-case footprints (kSlabReserve).
     std::size_t committed_cache = 0;
+    std::size_t reserved_footprint = 0;
 
-    while (next < queue.size() || !running.empty()) {
-        // Idle system: jump to the next arrival.
-        if (running.empty() &&
+    const auto preempt_back = [&](std::size_t &step_preempts) {
+        Running victim = running.back();
+        running.pop_back();
+        Preempted p;
+        p.idx = victim.idx;
+        p.resident = victim.resident;
+        p.remaining_prefill = victim.remaining_prefill;
+        p.remaining_output = victim.remaining_output;
+        if (opts.preempt == PreemptPolicy::kSwap) {
+            p.swapped = true;
+            p.swap = pcache[victim.idx]->swap_out();
+        } else {
+            pcache[victim.idx]->release_all();
+        }
+        // push_front so when several requests are evicted in one step
+        // (back of `running` first, i.e. latest-admitted first), the
+        // earliest-admitted victim ends up at the front and readmits
+        // first.
+        preempted_q.push_front(std::move(p));
+        ++report.preemptions;
+        ++step_preempts;
+    };
+
+    while (next < queue.size() || !running.empty() ||
+           !preempted_q.empty()) {
+        // Idle system: jump to the next arrival (never while a
+        // preempted request waits — readmission is immediate).
+        if (running.empty() && preempted_q.empty() &&
+            next < queue.size() &&
             report.requests[next].arrival_s > now) {
             now = report.requests[next].arrival_s;
         }
+        // Readmit preempted requests first (FIFO), before any new
+        // admission: swap restores the saved rows, recompute re-enters
+        // prefill over prompt + already-generated rows (emitting
+        // nothing it already emitted).
+        while (paged && !preempted_q.empty() &&
+               running.size() < opts.max_batch) {
+            Preempted &p = preempted_q.front();
+            const std::size_t need =
+                p.swapped
+                    ? PagedKvCache::pages_for(p.resident, ps)
+                    : PagedKvCache::pages_for(
+                          p.resident + p.remaining_prefill, ps);
+            if (need > pool->allocator().free_pages()) {
+                break;  // FIFO: never skip past a blocked head.
+            }
+            if (p.swapped) {
+                pcache[p.idx]->swap_in(p.swap, p.resident);
+                running.push_back({p.idx, p.remaining_prefill,
+                                   p.remaining_output, p.resident});
+            } else {
+                report.recomputed_tokens += p.resident;
+                running.push_back(
+                    {p.idx, p.resident + p.remaining_prefill,
+                     p.remaining_output, 0});
+            }
+            ++report.readmits;
+            preempted_q.pop_front();
+        }
+        if (running.empty() && !preempted_q.empty()) {
+            throw std::logic_error(
+                "preempted request cannot readmit into an idle pool");
+        }
         // Continuous batching: admit every arrived request that fits.
+        // Readmissions drain first — new admissions wait behind them.
         while (next < queue.size() && running.size() < opts.max_batch &&
-               report.requests[next].arrival_s <= now) {
+               report.requests[next].arrival_s <= now &&
+               (!paged || preempted_q.empty())) {
             RequestMetrics &m = report.requests[next];
-            if (opts.max_cache_tokens > 0 &&
-                committed_cache +
-                        static_cast<std::size_t>(m.prompt_len) >
-                    opts.max_cache_tokens) {
-                break;  // FCFS: never skip past a blocked head.
+            const std::size_t prompt =
+                static_cast<std::size_t>(m.prompt_len);
+            std::size_t reuse = 0;
+            if (paged) {
+                // Adopt as much of the anchored shared prefix as this
+                // prompt covers, always leaving >= 1 row to prefill
+                // (the completing chunk's logits emit the first
+                // token).
+                if (anchor) {
+                    reuse = std::min(
+                        {anchor->length(), shared_len, prompt - 1});
+                }
+                std::size_t need =
+                    PagedKvCache::pages_for(prompt, ps) -
+                    PagedKvCache::pages_for(reuse, ps);
+                if (reuse % ps != 0) {
+                    need += 1;  // Copy-on-extend of the shared tail.
+                }
+                if (need > pool->allocator().free_pages()) {
+                    break;  // FCFS: never skip past a blocked head.
+                }
+            } else if (opts.cache_policy == CachePolicy::kSlabReserve) {
+                const std::size_t footprint =
+                    prompt +
+                    static_cast<std::size_t>(m.output_len) - 1;
+                if (opts.max_cache_tokens > 0 &&
+                    reserved_footprint + footprint >
+                        opts.max_cache_tokens) {
+                    break;
+                }
+                reserved_footprint += footprint;
+            } else {
+                if (opts.max_cache_tokens > 0 &&
+                    committed_cache + prompt > opts.max_cache_tokens) {
+                    break;
+                }
             }
             m.admitted_s = now;
-            running.push_back(
-                {next, static_cast<std::size_t>(m.prompt_len),
-                 static_cast<std::size_t>(m.output_len)});
-            committed_cache += static_cast<std::size_t>(m.prompt_len);
+            running.push_back({next, prompt - reuse,
+                               static_cast<std::size_t>(m.output_len),
+                               reuse});
+            committed_cache += prompt;
+            if (paged) {
+                pcache[next] = std::make_unique<PagedKvCache>(*pool);
+                if (reuse > 0) {
+                    pcache[next]->adopt_prefix(*anchor, reuse);
+                    report.reused_prefix_tokens += reuse;
+                }
+                if (shared_len > 0 && producer == kNone) {
+                    producer = next;
+                    anchor_target = std::min(shared_len, prompt);
+                }
+            }
             if (exec) {
                 exec_state[next] = std::make_unique<ExecRequest>(
-                    *opts.executor, *queue[next], opts.exec_seed);
+                    *opts.executor, *queue[next], opts.exec_seed,
+                    opts.shared_prefix_len);
+                if (!paged) {
+                    scache[next] = std::make_unique<KvCache>(
+                        opts.executor->make_cache());
+                }
             }
             ++next;
         }
         report.peak_batch = std::max(report.peak_batch, running.size());
 
         // Schedule the step: one decode token per finished-prefill
-        // request, leftover budget into prefill chunks (FCFS).
+        // request, leftover budget into prefill chunks (FCFS). Under
+        // kPaged the plan must also fit the free pages: when it
+        // cannot, the most recently admitted request is preempted and
+        // the plan retried (a lone request always fits, enforced by
+        // the up-front budget validation).
         std::size_t decode_tokens = 0;
-        for (const Running &r : running) {
-            if (r.remaining_prefill == 0) {
-                ++decode_tokens;
-            }
-        }
-        std::size_t budget = opts.max_step_tokens > decode_tokens
-                                 ? opts.max_step_tokens - decode_tokens
-                                 : 0;
         std::size_t prefill_tokens = 0;
-        std::vector<std::size_t> chunk(running.size(), 0);
-        for (std::size_t i = 0; i < running.size() && budget > 0; ++i) {
-            if (running[i].remaining_prefill > 0) {
-                chunk[i] =
-                    std::min(running[i].remaining_prefill, budget);
-                budget -= chunk[i];
-                prefill_tokens += chunk[i];
+        std::vector<std::size_t> chunk;
+        std::size_t step_preempts = 0;
+        for (;;) {
+            decode_tokens = 0;
+            std::size_t decode_pages = 0;
+            for (const Running &r : running) {
+                if (r.remaining_prefill == 0) {
+                    ++decode_tokens;
+                    if (paged) {
+                        decode_pages +=
+                            pcache[r.idx]->new_pages_needed(
+                                r.resident + 1);
+                    }
+                }
             }
+            prefill_tokens = 0;
+            chunk.assign(running.size(), 0);
+            const bool decode_fits =
+                !paged || decode_pages <= pool->allocator().free_pages();
+            if (decode_fits) {
+                std::size_t budget =
+                    opts.max_step_tokens > decode_tokens
+                        ? opts.max_step_tokens - decode_tokens
+                        : 0;
+                std::size_t avail =
+                    paged ? pool->allocator().free_pages() - decode_pages
+                          : 0;
+                for (std::size_t i = 0;
+                     i < running.size() && budget > 0; ++i) {
+                    if (running[i].remaining_prefill == 0) {
+                        continue;
+                    }
+                    std::size_t c =
+                        std::min(running[i].remaining_prefill, budget);
+                    if (paged) {
+                        const PagedKvCache &cache =
+                            *pcache[running[i].idx];
+                        const std::size_t ext =
+                            cache.max_extension(avail);
+                        c = std::min(
+                            c, ext > running[i].resident
+                                   ? ext - running[i].resident
+                                   : 0);
+                        if (c == 0) {
+                            continue;
+                        }
+                        avail -= cache.new_pages_needed(
+                            running[i].resident + c);
+                    }
+                    chunk[i] = c;
+                    budget -= c;
+                    prefill_tokens += c;
+                }
+            }
+            if (decode_fits && decode_tokens + prefill_tokens > 0) {
+                break;
+            }
+            if (!paged || running.size() <= 1) {
+                throw std::logic_error(
+                    "scheduler cannot make progress within the page "
+                    "budget");
+            }
+            preempt_back(step_preempts);
         }
 
         const SystemRun run = run_workload(
             system, tech,
             build_step_workload(model, prefill_tokens, decode_tokens,
                                 opts.tuple));
-        report.steps.push_back({now, run.cycles, prefill_tokens,
-                                decode_tokens, running.size(), 0});
+        ServingStep step;
+        step.start_s = now;
+        step.cycles = run.cycles;
+        step.prefill_tokens = prefill_tokens;
+        step.decode_tokens = decode_tokens;
+        step.running = running.size();
+        step.preemptions = step_preempts;
+        report.steps.push_back(step);
         report.total_cycles += run.cycles;
         now += run.seconds(tech);
 
@@ -354,9 +656,8 @@ simulate_serving(const ModelConfig &model,
             std::vector<std::size_t> decoding;
             for (const Running &r : running) {
                 if (r.remaining_prefill == 0) {
-                    ExecRequest &e = *exec_state[r.idx];
-                    batch.add(e.cache);
-                    in_tokens.push_back(e.last_token);
+                    batch.add(cache_of(r.idx));
+                    in_tokens.push_back(exec_state[r.idx]->last_token);
                     decoding.push_back(r.idx);
                 }
             }
@@ -375,30 +676,58 @@ simulate_serving(const ModelConfig &model,
             // ...and the prefill chunks append to their caches; the
             // chunk completing a prompt emits the first output token
             // from its last-row logits (already computed, so it costs
-            // no decode row — matching the priced step shape).
+            // no decode row — matching the priced step shape). A
+            // recompute-readmitted request rebuilds prompt rows and
+            // then its already-emitted tokens; its completing chunk
+            // emits nothing (everything it rebuilt was emitted
+            // before).
             for (std::size_t i = 0; i < running.size(); ++i) {
                 if (chunk[i] == 0) {
                     continue;
                 }
                 ExecRequest &e = *exec_state[running[i].idx];
                 RequestMetrics &m = report.requests[running[i].idx];
-                const std::size_t done =
-                    static_cast<std::size_t>(m.prompt_len) -
-                    running[i].remaining_prefill;
+                const std::size_t prompt =
+                    static_cast<std::size_t>(m.prompt_len);
+                const std::size_t row0 = running[i].resident;
+                std::vector<int> toks(chunk[i]);
+                for (std::size_t j = 0; j < chunk[i]; ++j) {
+                    const std::size_t row = row0 + j;
+                    toks[j] = row < prompt
+                                  ? e.prompt[row]
+                                  : m.tokens[row - prompt];
+                }
                 const bool completes =
                     chunk[i] == running[i].remaining_prefill;
-                // Intermediate chunks skip the O(vocab·d) logit head.
+                const bool emits = completes && m.tokens.empty();
+                // Intermediate (and re-prefill) chunks skip the
+                // O(vocab·d) logit head.
                 const std::vector<float> logits =
-                    opts.executor->prefill(
-                        e.cache,
-                        std::span<const int>(e.prompt.data() + done,
-                                             chunk[i]),
-                        opts.exec_run, completes);
-                if (completes) {
+                    opts.executor->prefill(cache_of(running[i].idx),
+                                           toks, opts.exec_run, emits);
+                if (emits) {
                     const int tok = exec_pick_token(
                         logits, opts.exec_temperature, e.rng);
                     e.last_token = tok;
                     m.tokens.push_back(tok);
+                }
+            }
+        } else if (paged) {
+            // Pricing-only: mirror the executed runs' cache calls on
+            // the accounting pool, in the same order (decoders in
+            // batch order, then chunks), so the allocator walks the
+            // identical page sequence.
+            for (const Running &r : running) {
+                if (r.remaining_prefill == 0) {
+                    pcache[r.idx]->reserve(r.resident + 1);
+                    pcache[r.idx]->advance(1);
+                }
+            }
+            for (std::size_t i = 0; i < running.size(); ++i) {
+                if (chunk[i] > 0) {
+                    pcache[running[i].idx]->reserve(
+                        running[i].resident + chunk[i]);
+                    pcache[running[i].idx]->advance(chunk[i]);
                 }
             }
         }
@@ -406,25 +735,59 @@ simulate_serving(const ModelConfig &model,
         // Advance progress; the step's end timestamps every token it
         // produced. A prefill that completes emits the first output
         // token (its logits are already computed), so decode owes the
-        // remaining output_len - 1 tokens.
+        // remaining output_len - 1 tokens. A rebuilt prefill
+        // (recompute readmission) whose first token was already
+        // emitted completes silently.
         for (std::size_t i = 0; i < running.size(); ++i) {
             Running &r = running[i];
             RequestMetrics &m = report.requests[r.idx];
             if (chunk[i] > 0) {
                 r.remaining_prefill -= chunk[i];
+                r.resident += chunk[i];
                 if (r.remaining_prefill == 0) {
-                    m.first_token_s = now;
-                    --r.remaining_output;
+                    const std::size_t emitted =
+                        static_cast<std::size_t>(m.output_len) -
+                        r.remaining_output;
+                    if (emitted == 0) {
+                        m.first_token_s = now;
+                        --r.remaining_output;
+                    }
                 }
             } else if (r.remaining_prefill == 0) {
                 --r.remaining_output;
+                r.resident += 1;
             }
             if (r.remaining_prefill == 0 && r.remaining_output == 0) {
                 m.finish_s = now;
-                if (exec) {
-                    // Free the finished request's KV rows (the slot's
-                    // occupancy returns to the pool).
-                    exec_state[r.idx].reset();
+            }
+        }
+
+        // Anchor the shared prefix once the producer has committed it
+        // (before any release below — the producer may finish in this
+        // very step). The anchor holds the pages alive for future
+        // admissions; adopters extend them copy-on-extend.
+        if (paged && !anchor && producer != kNone &&
+            pcache[producer] &&
+            pcache[producer]->length() >= anchor_target) {
+            anchor = std::make_unique<PagedKvCache>(*pool);
+            anchor->adopt_prefix(*pcache[producer], anchor_target);
+        }
+
+        // Free finished requests' KV rows (slot occupancy returns to
+        // the pool / allocator).
+        for (const Running &r : running) {
+            if (r.remaining_prefill == 0 && r.remaining_output == 0) {
+                if (paged) {
+                    pcache[r.idx].reset();
+                } else {
+                    scache[r.idx].reset();
+                }
+                exec_state[r.idx].reset();
+                if (opts.cache_policy == CachePolicy::kSlabReserve) {
+                    const RequestMetrics &m = report.requests[r.idx];
+                    reserved_footprint -=
+                        static_cast<std::size_t>(m.prompt_len) +
+                        static_cast<std::size_t>(m.output_len) - 1;
                 }
             }
         }
@@ -442,27 +805,24 @@ simulate_serving(const ModelConfig &model,
         std::size_t resident = 0;
         std::size_t pending_prefill = 0;
         for (const Running &r : running) {
-            const RequestMetrics &m = report.requests[r.idx];
-            const std::size_t prompt_done =
-                static_cast<std::size_t>(m.prompt_len) -
-                r.remaining_prefill;
-            const std::size_t generated =
-                static_cast<std::size_t>(m.output_len) -
-                r.remaining_output;
-            resident += prompt_done + (generated > 0 ? generated - 1
-                                                     : 0);
+            resident += r.resident;
             pending_prefill += r.remaining_prefill;
-            // The counter-derived occupancy is exactly the executed
-            // cache length — scheduler state matches the substrate.
-            assert(!exec || exec_state[r.idx]->cache.length() ==
-                                prompt_done +
-                                    (generated > 0 ? generated - 1
-                                                   : 0));
+            // The counter-tracked occupancy is exactly the cache
+            // length — scheduler state matches the substrate.
+            assert((!exec && !paged) ||
+                   cache_of(r.idx).length() == r.resident);
         }
         report.steps.back().cache_tokens = resident;
         report.peak_cache_tokens =
             std::max(report.peak_cache_tokens, resident);
         committed_cache = resident + pending_prefill;
+        if (paged) {
+            const KvPageAllocator &alloc = pool->allocator();
+            report.steps.back().used_pages = alloc.used_pages();
+            report.steps.back().free_pages = alloc.free_pages();
+            report.peak_used_pages = std::max(report.peak_used_pages,
+                                              alloc.used_pages());
+        }
     }
 
     report.makespan_s = now;

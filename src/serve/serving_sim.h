@@ -16,14 +16,35 @@
 /// throughput, plus a per-step log so tests can replay and cross-check
 /// every cost and token-conservation invariant bit-for-bit.
 ///
+/// KV memory is managed under a per-run CachePolicy:
+///  * kSlabPrompt (default) — per-sequence contiguous slabs; admission
+///    gates on resident + prompt tokens against max_cache_tokens, so
+///    decode appends can overshoot the cap (a real deployment would
+///    OOM — the paged policy exists to fix exactly this).
+///  * kSlabReserve — slabs admitted against their full worst-case
+///    footprint (prompt + output - 1 rows), never overshooting but
+///    serializing under overload.
+///  * kPaged — fixed-size pages from a refcounted pool
+///    (llm/kv_pages.h): admission gates on the pages the prompt needs,
+///    requests past the page budget wait, and decode growth under
+///    overload preempts the most recently admitted request
+///    (PreemptPolicy: swap K/V rows out and back in, or drop them and
+///    recompute on readmission). With shared_prefix_len > 0, prompts
+///    share a common system-prefix and later admissions adopt the
+///    anchor copy of those K/V pages copy-on-extend instead of
+///    re-prefilling them. Preemption and sharing never change any
+///    emitted token: per-request sampler streams are
+///    schedule-independent and rebuilt prefixes are bit-identical.
+///
 /// With ServingOptions::executor set the scheduler additionally
 /// *executes* generation on the accuracy substrate: admitted requests
-/// prefill per-sequence KV caches (llm/kv_cache.h), every step runs
-/// one ragged Transformer::decode_step over the running batch, and the
-/// sampled tokens land in RequestMetrics::tokens. Execution never
-/// perturbs scheduling or pricing — the perf model still prices the
-/// executed step shapes, so the step log is identical with and without
-/// an executor (generation_smoke replays both ways).
+/// prefill per-sequence KV caches, every step runs one ragged
+/// Transformer::decode_step over the running batch, and the sampled
+/// tokens land in RequestMetrics::tokens. Execution never perturbs
+/// scheduling or pricing — in paged mode the pricing-only run drives
+/// an accounting-only page pool through the identical allocate /
+/// share / preempt sequence, so the step log (costs, tokens, pages,
+/// preemptions) is bit-identical with and without an executor.
 
 #include <cstdint>
 #include <span>
@@ -37,6 +58,23 @@
 
 namespace anda {
 
+/// KV-memory management policy of a serving run.
+enum class CachePolicy {
+    kSlabPrompt,   ///< Contiguous slabs, prompt-gated admission.
+    kSlabReserve,  ///< Contiguous slabs, worst-case-footprint admission.
+    kPaged,        ///< Paged pool with preemption and prefix reuse.
+};
+
+/// What happens to a preempted request's KV rows (kPaged only).
+enum class PreemptPolicy {
+    kRecompute,  ///< Drop the pages; re-prefill prompt + generated
+                 ///< rows on readmission (costs compute, no memory).
+    kSwap,       ///< Serialize rows to host memory; restore on
+                 ///< readmission (costs no accelerator cycles in this
+                 ///< model — the priced timeline treats swap traffic
+                 ///< as free, a documented simplification).
+};
+
 /// Scheduling knobs of the continuous-batching loop.
 struct ServingOptions {
     /// Maximum concurrent in-flight requests (batch slots).
@@ -49,12 +87,29 @@ struct ServingOptions {
     /// Activation mantissas of the four FP-INT taps ({16,16,16,16}
     /// for FP16-activation systems).
     PrecisionTuple tuple{16, 16, 16, 16};
-    /// KV-cache occupancy cap [tokens] gating admission (0 = off): a
-    /// request is admitted only when the resident cached tokens plus
-    /// its prompt fit. Decode appends can transiently exceed the cap
-    /// (it is an admission gate, not a hard bound). Requests whose
-    /// prompt alone exceeds the cap are rejected up front.
+    /// KV-cache occupancy cap [tokens] of the slab policies (0 =
+    /// off). kSlabPrompt: a request is admitted only when the
+    /// resident cached tokens plus its prompt fit (decode appends can
+    /// transiently exceed the cap). kSlabReserve: admission charges
+    /// the full prompt + output - 1 footprint, so the cap is never
+    /// exceeded. Ignored by kPaged (page_budget replaces it).
     std::size_t max_cache_tokens = 0;
+    /// KV layout and admission/preemption discipline.
+    CachePolicy cache_policy = CachePolicy::kSlabPrompt;
+    /// Rows per KV page (kPaged).
+    std::size_t page_size = 16;
+    /// Physical pages in the pool (kPaged; must be > 0). Every
+    /// request must satisfy pages(prompt + output - 1) + pages(shared
+    /// prefix) + 1 <= page_budget or the run throws up front.
+    std::size_t page_budget = 0;
+    /// Preemption discipline under page pressure (kPaged).
+    PreemptPolicy preempt = PreemptPolicy::kRecompute;
+    /// Tokens at the head of every prompt drawn from a shared stream
+    /// (a common system prompt). Shapes the synthetic prompts under
+    /// every policy; under kPaged later admissions additionally adopt
+    /// the already-computed K/V pages of the shared prefix instead of
+    /// re-prefilling them (reused_prefix_tokens in the report).
+    int shared_prefix_len = 0;
     /// Execution substrate (may be null = pricing only): when set,
     /// generation runs for real — prompts are synthesized from the
     /// request ids (exec_prompt_tokens), prefill fills per-request
@@ -111,8 +166,15 @@ struct ServingStep {
     std::size_t running = 0;
     /// KV-cache tokens resident after the step (finished requests
     /// freed). Identical in pricing-only and execution runs; in the
-    /// latter it equals the summed KvCache::length() of live caches.
+    /// latter it equals the summed cache length of live caches.
     std::size_t cache_tokens = 0;
+    /// Page-pool occupancy after the step (kPaged; used + free ==
+    /// page_budget always — the conservation invariant paging_smoke
+    /// replays). Zero under the slab policies.
+    std::size_t used_pages = 0;
+    std::size_t free_pages = 0;
+    /// Requests preempted while scheduling this step.
+    std::size_t preemptions = 0;
 };
 
 /// Outcome of one simulated serving run.
@@ -127,10 +189,23 @@ struct ServingReport {
     std::size_t total_output_tokens = 0;
     std::size_t peak_batch = 0;
     /// Maximum of ServingStep::cache_tokens over the run (the KV
-    /// memory high-water mark a capacity planner budgets against).
+    /// memory high-water mark a capacity planner budgets against;
+    /// under kSlabPrompt it can exceed max_cache_tokens — the
+    /// overshoot the paged policy eliminates).
     std::size_t peak_cache_tokens = 0;
     /// True when the run executed generation (tokens are populated).
     bool executed = false;
+    /// Paged-policy accounting (all zero under the slab policies).
+    std::size_t page_size = 0;
+    std::size_t page_budget = 0;
+    std::size_t preemptions = 0;  ///< Total preemption events.
+    std::size_t readmits = 0;     ///< Preempted requests readmitted.
+    std::size_t peak_used_pages = 0;
+    /// Prompt rows adopted from the shared-prefix anchor instead of
+    /// being prefilled.
+    std::size_t reused_prefix_tokens = 0;
+    /// Rows re-prefilled after recompute-policy preemptions.
+    std::size_t recomputed_tokens = 0;
 
     /// Generated tokens per second over the makespan.
     double output_tokens_per_s() const;
@@ -138,10 +213,17 @@ struct ServingReport {
     double p95_ttft_s() const;
     /// Mean decode inter-token latency across multi-token requests.
     double mean_decode_s_per_token() const;
+    /// Mean over steps (with pages in use) of the internal
+    /// fragmentation of the page pool: 1 - committed sequence rows /
+    /// used page slots, in [0, 1]. Partial tail pages and anchor
+    /// pages whose rows no live sequence currently counts both read
+    /// as waste.
+    double mean_fragmentation() const;
     /// FNV-1a checksum over (id, generated tokens) of every request —
     /// the determinism fingerprint generation_smoke pins.
     std::uint64_t generated_checksum() const;
-    /// One-line human-readable summary for logs and CI artifacts.
+    /// One-line human-readable summary for logs and CI artifacts
+    /// (gains a pages/preemptions segment under kPaged).
     std::string summary() const;
 };
 
@@ -157,9 +239,14 @@ std::vector<GemmOp> build_step_workload(const ModelConfig &model,
 /// The deterministic synthetic prompt execution mode feeds request
 /// `id`: BOS (0) followed by uniform tokens from the executor's sim
 /// vocab, derived from (seed, id) only — so a request's prompt does
-/// not depend on scheduling. Exposed for replay tools.
+/// not depend on scheduling. With shared_prefix_len > 0 the first
+/// min(shared_prefix_len, prompt_len) tokens (BOS included) come from
+/// a shared stream derived from the seed alone, identical across
+/// requests — the common system prompt the paged policy's prefix
+/// reuse adopts. Exposed for replay tools.
 std::vector<int> exec_prompt_tokens(int vocab, int prompt_len,
-                                    std::uint64_t seed, int id);
+                                    std::uint64_t seed, int id,
+                                    int shared_prefix_len = 0);
 
 /// Seed of request `id`'s sampling stream in execution mode (one
 /// SplitMix64 per request, again schedule-independent). Exposed so
@@ -178,9 +265,9 @@ int exec_pick_token(std::span<const float> logits, double temperature,
 /// Simulates serving `requests` (any order; scheduled FCFS by arrival
 /// time) on one accelerator configuration. Deterministic in its
 /// arguments. Throws std::invalid_argument on an empty stream, zero
-/// batch/budget options, a prompt that cannot pass max_cache_tokens,
-/// or (execution mode) a request that cannot fit the executor's
-/// max_seq.
+/// batch/budget options, a request that cannot pass the configured
+/// admission gate (slab caps or page budget), or (execution mode) a
+/// request that cannot fit the executor's max_seq.
 ServingReport simulate_serving(const ModelConfig &model,
                                const AcceleratorConfig &system,
                                const TechParams &tech,

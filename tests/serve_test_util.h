@@ -1,0 +1,99 @@
+#pragma once
+
+/// @file
+/// Shared fixtures of the serving-layer tests (tests/test_serve.cpp)
+/// and smoke tools: one busy request stream, one tiny execution
+/// substrate that shares llama-7b's pricing dimensions, and the
+/// execution options that drive it. Kept header-only and gtest-free so
+/// both the gtest suites and the standalone tools/*_smoke binaries can
+/// include it.
+
+#include "serve/serving_sim.h"
+
+namespace anda {
+namespace serve_test {
+
+/// A busy stream: arrivals overlap service, mixed prompt/output sizes.
+inline RequestStreamSpec
+small_spec()
+{
+    RequestStreamSpec spec;
+    spec.seed = 4242;
+    spec.n_requests = 24;
+    spec.arrival_rate = 2000.0;
+    spec.prompt_min = 4;
+    spec.prompt_max = 96;
+    spec.output_min = 2;
+    spec.output_max = 24;
+    return spec;
+}
+
+/// Tiny accuracy substrate sharing llama-7b's pricing (real) dims, so
+/// executed runs must replay priced runs exactly.
+inline const Transformer &
+tiny_executor()
+{
+    static const Transformer m([] {
+        ModelConfig cfg = find_model("llama-7b");
+        cfg.name = "serve-exec-tiny";
+        cfg.sim.d_model = 64;
+        cfg.sim.n_layers = 1;
+        cfg.sim.n_heads = 2;
+        cfg.sim.d_ffn = 128;
+        cfg.sim.vocab = 64;
+        cfg.sim.max_seq = 128;
+        return cfg;
+    }());
+    return m;
+}
+
+/// The stream the execution-mode tests play through tiny_executor().
+inline RequestStreamSpec
+exec_spec()
+{
+    RequestStreamSpec spec;
+    spec.seed = 99;
+    spec.n_requests = 12;
+    spec.arrival_rate = 1000.0;
+    spec.prompt_min = 2;
+    spec.prompt_max = 40;
+    spec.output_min = 2;
+    spec.output_max = 16;
+    return spec;
+}
+
+/// Execution-mode options bound to tiny_executor().
+inline ServingOptions
+exec_opts()
+{
+    ServingOptions opts;
+    opts.max_batch = 4;
+    opts.max_step_tokens = 24;
+    opts.tuple = {8, 7, 7, 6};
+    opts.executor = &tiny_executor();
+    opts.exec_run.prec = PrecisionConfig::anda(opts.tuple);
+    opts.exec_seed = 7;
+    return opts;
+}
+
+/// Runs `spec` through the pricing-only scheduler on llama-7b/anda.
+inline ServingReport
+run_priced(const ServingOptions &opts, const RequestStreamSpec &spec,
+           const std::string &system = "anda")
+{
+    const auto requests = generate_requests(spec);
+    return simulate_serving(find_model("llama-7b"), find_system(system),
+                            tech16(), requests, opts);
+}
+
+/// Runs `spec` through the executing scheduler on tiny_executor().
+inline ServingReport
+run_executed(const ServingOptions &opts, const RequestStreamSpec &spec)
+{
+    return simulate_serving(tiny_executor().config(),
+                            find_system("anda"), tech16(),
+                            generate_requests(spec), opts);
+}
+
+}  // namespace serve_test
+}  // namespace anda

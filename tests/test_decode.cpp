@@ -9,10 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "llm/kv_pages.h"
 #include "llm/ops.h"
 #include "llm/transformer.h"
 
@@ -407,6 +409,270 @@ TEST_F(DecodeTest, ValidatesDegenerateInputs)
     EXPECT_EQ(ok.length(), 2u);
     EXPECT_EQ(full.length(),
               static_cast<std::size_t>(m.dims().max_seq));
+}
+
+// ---------------------------------------------------------------------
+// Paged caches on the decode path: the PagedKvCache rows live behind a
+// page table over a shared pool, but the transformer reads and writes
+// them through the same KvSeq interface as slabs — so every decode
+// logit must stay bit-identical, including under prefix sharing,
+// copy-on-extend, and preemption round-trips.
+
+/// A pool sized for `m` with plenty of pages; page_size 5 is chosen
+/// deliberately co-prime to typical lengths so sequences straddle
+/// partial tail pages.
+KvPagePool
+pool_for(const Transformer &m, std::size_t page_size = 5)
+{
+    const auto &d = m.dims();
+    return KvPagePool(static_cast<std::size_t>(d.n_layers),
+                      static_cast<std::size_t>(d.d_model),
+                      static_cast<std::size_t>(d.max_seq), page_size,
+                      128);
+}
+
+TEST_F(DecodeTest, PagedDecodeMatchesFullPrefixAcrossFormats)
+{
+    SplitMix64 rng(606);
+    for (const Transformer *m : {&opt(), &llama()}) {
+        const auto formats = tap_formats();
+        for (std::size_t f = 0; f < formats.size(); ++f) {
+            const auto seqs = ragged_batch(*m, rng, 3, 2, 20);
+            KvPagePool pool = pool_for(*m);
+            std::vector<std::unique_ptr<PagedKvCache>> caches;
+            BatchKvCache batch;
+            std::vector<int> last;
+            for (const auto &s : seqs) {
+                caches.push_back(
+                    std::make_unique<PagedKvCache>(pool));
+                m->prefill(*caches.back(),
+                           std::span<const int>(s.data(),
+                                                s.size() - 1),
+                           formats[f]);
+                batch.add(*caches.back());
+                last.push_back(s.back());
+            }
+            const Matrix dec = m->decode_step(batch, last, formats[f]);
+            const Matrix full =
+                m->forward_logits_batched(seqs, formats[f]);
+            std::size_t off = 0;
+            for (std::size_t s = 0; s < seqs.size(); ++s) {
+                const std::size_t row = off + seqs[s].size() - 1;
+                for (std::size_t v = 0; v < dec.cols(); ++v) {
+                    ASSERT_EQ(dec(s, v), full(row, v))
+                        << m->config().name << " format " << f
+                        << " seq=" << s << " v=" << v;
+                }
+                // Paged caches hold exactly the pages they need.
+                EXPECT_EQ(caches[s]->length(), seqs[s].size());
+                EXPECT_EQ(caches[s]->pages_held(),
+                          PagedKvCache::pages_for(seqs[s].size(), 5));
+                off += seqs[s].size();
+            }
+        }
+    }
+}
+
+TEST_F(DecodeTest, MixedSlabAndPagedBatchDecodesBitExactly)
+{
+    // One ragged decode step over a batch mixing slab and paged
+    // caches: the KvSeq interface makes the layouts interchangeable
+    // row for row.
+    SplitMix64 rng(7707);
+    for (const Transformer *m : {&opt(), &llama()}) {
+        const auto seqs = ragged_batch(*m, rng, 4, 2, 18);
+        KvPagePool pool = pool_for(*m);
+        std::vector<KvCache> slabs;
+        std::vector<std::unique_ptr<PagedKvCache>> paged;
+        slabs.reserve(seqs.size());
+        BatchKvCache batch;
+        std::vector<int> last;
+        RunOptions opts;
+        opts.prec = PrecisionConfig::anda({8, 7, 6, 5});
+        for (std::size_t i = 0; i < seqs.size(); ++i) {
+            const auto &s = seqs[i];
+            const std::span<const int> prefix(s.data(), s.size() - 1);
+            if (i % 2 == 0) {
+                slabs.push_back(m->make_cache());
+                m->prefill(slabs.back(), prefix, opts);
+            } else {
+                paged.push_back(std::make_unique<PagedKvCache>(pool));
+                m->prefill(*paged.back(), prefix, opts);
+            }
+            last.push_back(s.back());
+        }
+        std::size_t si = 0;
+        std::size_t pi = 0;
+        for (std::size_t i = 0; i < seqs.size(); ++i) {
+            if (i % 2 == 0) {
+                batch.add(slabs[si++]);
+            } else {
+                batch.add(*paged[pi++]);
+            }
+        }
+        const Matrix dec = m->decode_step(batch, last, opts);
+        const Matrix full = m->forward_logits_batched(seqs, opts);
+        std::size_t off = 0;
+        for (std::size_t s = 0; s < seqs.size(); ++s) {
+            const std::size_t row = off + seqs[s].size() - 1;
+            for (std::size_t v = 0; v < dec.cols(); ++v) {
+                ASSERT_EQ(dec(s, v), full(row, v))
+                    << m->config().name << " seq=" << s << " v=" << v;
+            }
+            off += seqs[s].size();
+        }
+    }
+}
+
+TEST_F(DecodeTest, SharedPrefixAdoptionIsBitExact)
+{
+    // A common system prompt prefilled once and adopted by every
+    // sequence (refcounted pages, copy-on-extend past the shared
+    // partial tail page) must decode bit-identically to fully
+    // independent caches that each prefilled the whole prompt — for
+    // every activation format and both families.
+    SplitMix64 rng(2468);
+    for (const Transformer *m : {&opt(), &llama()}) {
+        const auto formats = tap_formats();
+        for (std::size_t f = 0; f < formats.size(); ++f) {
+            // Prefix length 11 straddles pages of 5: the tail page is
+            // shared partially, so every adopter copy-on-extends.
+            const auto prefix = sequence(*m, rng, 11);
+            std::vector<std::vector<int>> seqs;
+            for (const std::size_t suffix_len : {1u, 4u, 9u}) {
+                auto s = prefix;
+                const auto tail = sequence(*m, rng, suffix_len + 1);
+                s.insert(s.end(), tail.begin(), tail.end());
+                seqs.push_back(std::move(s));
+            }
+
+            KvPagePool pool = pool_for(*m);
+            PagedKvCache anchor(pool);
+            m->prefill(anchor, prefix, formats[f], false);
+
+            std::vector<std::unique_ptr<PagedKvCache>> caches;
+            BatchKvCache batch;
+            std::vector<int> last;
+            for (const auto &s : seqs) {
+                caches.push_back(
+                    std::make_unique<PagedKvCache>(pool));
+                const std::size_t used_before =
+                    pool.allocator().used_pages();
+                caches.back()->adopt_prefix(anchor, prefix.size());
+                // Adoption allocates nothing.
+                EXPECT_EQ(pool.allocator().used_pages(), used_before);
+                m->prefill(*caches.back(),
+                           std::span<const int>(
+                               s.data() + prefix.size(),
+                               s.size() - prefix.size() - 1),
+                           formats[f]);
+                batch.add(*caches.back());
+                last.push_back(s.back());
+            }
+            const Matrix dec = m->decode_step(batch, last, formats[f]);
+            const Matrix full =
+                m->forward_logits_batched(seqs, formats[f]);
+            std::size_t off = 0;
+            for (std::size_t s = 0; s < seqs.size(); ++s) {
+                const std::size_t row = off + seqs[s].size() - 1;
+                for (std::size_t v = 0; v < dec.cols(); ++v) {
+                    ASSERT_EQ(dec(s, v), full(row, v))
+                        << m->config().name << " format " << f
+                        << " seq=" << s << " v=" << v;
+                }
+                off += seqs[s].size();
+            }
+            // The anchor's own rows are untouched by the adopters'
+            // copy-on-extends: a fresh adopter still matches a fresh
+            // full prefill of the bare prefix.
+            EXPECT_EQ(anchor.length(), prefix.size());
+        }
+    }
+}
+
+TEST_F(DecodeTest, PostPreemptionDecodeIsBitExact)
+{
+    // Preemption round-trips mid-generation: after a few decode
+    // steps, either swap the cache out and back in (kSwap) or drop it
+    // and re-prefill the full history (kRecompute). Both must leave
+    // subsequent decode logits bit-identical to the uninterrupted
+    // full-prefix recomputation.
+    SplitMix64 rng(1357);
+    RunOptions opts;
+    opts.prec = PrecisionConfig::anda({8, 7, 6, 5});
+    for (const Transformer *m : {&opt(), &llama()}) {
+        auto history = sequence(*m, rng, 9);
+        KvPagePool pool = pool_for(*m);
+        PagedKvCache cache(pool);
+        m->prefill(cache,
+                   std::span<const int>(history.data(),
+                                        history.size() - 1),
+                   opts);
+        BatchKvCache batch;
+        batch.add(cache);
+        // A few uninterrupted decode steps growing the history.
+        for (int step = 0; step < 3; ++step) {
+            const int tok = history.back();
+            m->decode_step(batch, std::span<const int>(&tok, 1), opts);
+            history.push_back(static_cast<int>(rng.uniform_index(
+                static_cast<std::uint64_t>(m->dims().vocab))));
+        }
+
+        // kSwap: serialize, release, restore.
+        const std::size_t rows = cache.length();
+        const std::vector<float> swapped = cache.swap_out();
+        EXPECT_EQ(pool.allocator().used_pages(), 0u);
+        cache.swap_in(swapped, rows);
+
+        const int tok1 = history.back();
+        const Matrix after_swap =
+            m->decode_step(batch, std::span<const int>(&tok1, 1), opts);
+        const Matrix oracle = m->forward_logits_batched(
+            std::vector<std::vector<int>>{history}, opts);
+        for (std::size_t v = 0; v < after_swap.cols(); ++v) {
+            ASSERT_EQ(after_swap(0, v),
+                      oracle(oracle.rows() - 1, v))
+                << m->config().name << " swap v=" << v;
+        }
+
+        // kRecompute: drop everything, re-prefill the full history
+        // except the pending token, decode it again — same logits.
+        cache.release_all();
+        m->prefill(cache,
+                   std::span<const int>(history.data(),
+                                        history.size() - 1),
+                   opts, false);
+        const Matrix after_rebuild =
+            m->decode_step(batch, std::span<const int>(&tok1, 1), opts);
+        for (std::size_t v = 0; v < after_rebuild.cols(); ++v) {
+            ASSERT_EQ(after_rebuild(0, v),
+                      oracle(oracle.rows() - 1, v))
+                << m->config().name << " rebuild v=" << v;
+        }
+    }
+}
+
+TEST_F(DecodeTest, PagedValidationMatchesSlabValidation)
+{
+    const Transformer &m = llama();
+    RunOptions opts;
+    KvPagePool pool = pool_for(m);
+    PagedKvCache cache(pool);
+    // A prefill past max_seq throws before touching the cache.
+    const std::vector<int> too_long(
+        static_cast<std::size_t>(m.dims().max_seq) + 1, 0);
+    EXPECT_THROW(m.prefill(cache, too_long, opts),
+                 std::invalid_argument);
+    EXPECT_EQ(cache.length(), 0u);
+    EXPECT_EQ(cache.pages_held(), 0u);
+    // A paged cache whose pool was sized for another model is
+    // rejected up front, like a foreign slab.
+    KvPagePool foreign_pool(1, 32, 16, 4, 8);
+    PagedKvCache foreign(foreign_pool);
+    const std::vector<int> toks = {1, 2};
+    EXPECT_THROW(m.prefill(foreign, toks, opts),
+                 std::invalid_argument);
+    EXPECT_EQ(foreign.pages_held(), 0u);
 }
 
 }  // namespace

@@ -1,32 +1,26 @@
 // Tests of the serving layer: deterministic request streams, the
 // continuous-batching scheduler's invariants (admission caps, token
 // budgets, conservation, replayable step costs, KV occupancy), the
-// latency / throughput report, and execution mode (real token
-// generation on the accuracy substrate without perturbing pricing).
+// latency / throughput report, execution mode (real token generation
+// on the accuracy substrate without perturbing pricing), and the paged
+// KV policy (page-budget admission, preemption with swap or recompute,
+// prefix reuse) — all of which must leave every emitted token
+// bit-identical to the unpreempted slab run.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
 
-#include "serve/serving_sim.h"
+#include "serve_test_util.h"
 
 namespace anda {
 namespace {
 
-RequestStreamSpec
-small_spec()
-{
-    RequestStreamSpec spec;
-    spec.seed = 4242;
-    spec.n_requests = 24;
-    spec.arrival_rate = 2000.0;  // Busy: arrivals overlap service.
-    spec.prompt_min = 4;
-    spec.prompt_max = 96;
-    spec.output_min = 2;
-    spec.output_max = 24;
-    return spec;
-}
+using serve_test::exec_opts;
+using serve_test::exec_spec;
+using serve_test::small_spec;
+using serve_test::tiny_executor;
 
 TEST(RequestStream, DeterministicSortedAndBounded)
 {
@@ -102,10 +96,7 @@ class ServingSimTest : public ::testing::Test {
                              const RequestStreamSpec &spec,
                              const std::string &system = "anda")
     {
-        const auto requests = generate_requests(spec);
-        return simulate_serving(find_model("llama-7b"),
-                                find_system(system), tech16(), requests,
-                                opts);
+        return serve_test::run_priced(opts, spec, system);
     }
 };
 
@@ -293,56 +284,174 @@ TEST_F(ServingSimTest, CacheGateLimitsAdmission)
                  std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// Paged-policy scheduling (pricing-only).
+
+/// Page budget that binds under small_spec's burst: the largest
+/// request footprint is pages(96 + 24 - 1) + 1 = 9 pages of 16 rows,
+/// so 12 pages admits any single request but far fewer than the
+/// unconstrained peak (hundreds of cached rows).
+ServingOptions
+paged_opts(std::size_t budget = 12)
+{
+    ServingOptions opts;
+    opts.max_batch = 8;
+    opts.max_step_tokens = 64;
+    opts.tuple = {8, 7, 7, 6};
+    opts.cache_policy = CachePolicy::kPaged;
+    opts.page_size = 16;
+    opts.page_budget = budget;
+    return opts;
+}
+
+TEST_F(ServingSimTest, PagedOverloadCompletesWhereSlabRejects)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;  // Burst: maximal page pressure.
+    const std::size_t budget = 12;
+    const std::size_t budget_rows = budget * 16;
+
+    // The paged scheduler rides out the overload by preempting: every
+    // request finishes and the pool never exceeds its budget.
+    const ServingReport paged = run(paged_opts(budget), spec);
+    ASSERT_EQ(paged.requests.size(), 24u);
+    for (const auto &m : paged.requests) {
+        EXPECT_GT(m.finish_s, 0.0) << "id=" << m.id;
+    }
+    EXPECT_GE(paged.preemptions, 1u);
+    EXPECT_EQ(paged.readmits, paged.preemptions);
+    EXPECT_LE(paged.peak_used_pages, budget);
+    EXPECT_LE(paged.peak_cache_tokens, budget_rows);
+    for (const auto &s : paged.steps) {
+        EXPECT_EQ(s.used_pages + s.free_pages, budget);
+        EXPECT_LE(s.cache_tokens, s.used_pages * 16);
+    }
+    EXPECT_GE(paged.mean_fragmentation(), 0.0);
+    EXPECT_LE(paged.mean_fragmentation(), 1.0);
+
+    // Conservation with recompute-policy preemption: every prompt row
+    // prefills once plus once more per recomputed residency.
+    std::size_t prefill = 0;
+    std::size_t decode = 0;
+    for (const auto &s : paged.steps) {
+        prefill += s.prefill_tokens;
+        decode += s.decode_tokens;
+    }
+    EXPECT_EQ(prefill,
+              paged.total_prompt_tokens + paged.recomputed_tokens);
+    EXPECT_EQ(decode,
+              paged.total_output_tokens - paged.requests.size());
+
+    // The prompt-gated slab baseline given the same memory as a token
+    // cap overshoots it during decode (the OOM a real deployment
+    // hits); the reserving slab baseline rejects up front as soon as
+    // the cap dips below the largest worst-case footprint (96 + 24 -
+    // 1 = 119 rows) — granularity paging does not need.
+    ServingOptions slab;
+    slab.max_batch = 8;
+    slab.max_step_tokens = 64;
+    slab.tuple = {8, 7, 7, 6};
+    slab.max_cache_tokens = budget_rows;
+    const ServingReport overshoot = run(slab, spec);
+    EXPECT_GT(overshoot.peak_cache_tokens, budget_rows);
+
+    ServingOptions reserve = slab;
+    reserve.cache_policy = CachePolicy::kSlabReserve;
+    reserve.max_cache_tokens = 112;
+    EXPECT_THROW(run(reserve, spec), std::invalid_argument);
+}
+
+TEST_F(ServingSimTest, ReservingSlabNeverOvershoots)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    ServingOptions reserve;
+    reserve.max_batch = 8;
+    reserve.max_step_tokens = 64;
+    reserve.cache_policy = CachePolicy::kSlabReserve;
+    reserve.max_cache_tokens = 256;  // >= 96 + 24 - 1, so all admit.
+    const ServingReport report = run(reserve, spec);
+    EXPECT_LE(report.peak_cache_tokens, reserve.max_cache_tokens);
+    for (const auto &m : report.requests) {
+        EXPECT_GT(m.finish_s, 0.0) << "id=" << m.id;
+    }
+}
+
+TEST_F(ServingSimTest, PagedSchedulingIsDeterministic)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    for (const PreemptPolicy policy :
+         {PreemptPolicy::kRecompute, PreemptPolicy::kSwap}) {
+        ServingOptions opts = paged_opts();
+        opts.preempt = policy;
+        const ServingReport a = run(opts, spec);
+        const ServingReport b = run(opts, spec);
+        ASSERT_EQ(a.steps.size(), b.steps.size());
+        EXPECT_EQ(a.total_cycles, b.total_cycles);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.summary(), b.summary());
+        for (std::size_t i = 0; i < a.steps.size(); ++i) {
+            EXPECT_EQ(a.steps[i].used_pages, b.steps[i].used_pages);
+            EXPECT_EQ(a.steps[i].preemptions, b.steps[i].preemptions);
+        }
+    }
+}
+
+TEST_F(ServingSimTest, SwapPolicyAvoidsRecomputePrefill)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    ServingOptions recompute = paged_opts();
+    recompute.preempt = PreemptPolicy::kRecompute;
+    ServingOptions swap = paged_opts();
+    swap.preempt = PreemptPolicy::kSwap;
+    const ServingReport rec = run(recompute, spec);
+    const ServingReport swp = run(swap, spec);
+    ASSERT_GE(rec.preemptions, 1u);
+    ASSERT_GE(swp.preemptions, 1u);
+    // Swap restores rows instead of re-prefilling them.
+    EXPECT_GT(rec.recomputed_tokens, 0u);
+    EXPECT_EQ(swp.recomputed_tokens, 0u);
+    std::size_t prefill = 0;
+    for (const auto &s : swp.steps) {
+        prefill += s.prefill_tokens;
+    }
+    EXPECT_EQ(prefill, swp.total_prompt_tokens);
+}
+
+TEST_F(ServingSimTest, PagedValidationRejectsBadBudgets)
+{
+    const auto requests = generate_requests(small_spec());
+    const auto &model = find_model("llama-7b");
+    const auto &system = find_system("anda");
+    // kPaged needs a page budget and a page size.
+    ServingOptions bad = paged_opts();
+    bad.page_budget = 0;
+    EXPECT_THROW(
+        simulate_serving(model, system, tech16(), requests, bad),
+        std::invalid_argument);
+    bad = paged_opts();
+    bad.page_size = 0;
+    EXPECT_THROW(
+        simulate_serving(model, system, tech16(), requests, bad),
+        std::invalid_argument);
+    // A request whose footprint can never fit is rejected up front:
+    // the largest request needs pages(96 + 24 - 1) + 1 = 9 pages.
+    bad = paged_opts(8);
+    EXPECT_THROW(
+        simulate_serving(model, system, tech16(), requests, bad),
+        std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Execution mode.
+
 class ServingExecutionTest : public ::testing::Test {
   protected:
-    /// Tiny accuracy substrate sharing llama-7b's pricing (real) dims,
-    /// so executed runs must replay priced runs exactly.
-    static const Transformer &executor()
-    {
-        static const Transformer m([] {
-            ModelConfig cfg = find_model("llama-7b");
-            cfg.name = "serve-exec-tiny";
-            cfg.sim.d_model = 64;
-            cfg.sim.n_layers = 1;
-            cfg.sim.n_heads = 2;
-            cfg.sim.d_ffn = 128;
-            cfg.sim.vocab = 64;
-            cfg.sim.max_seq = 128;
-            return cfg;
-        }());
-        return m;
-    }
-
-    static RequestStreamSpec exec_spec()
-    {
-        RequestStreamSpec spec;
-        spec.seed = 99;
-        spec.n_requests = 12;
-        spec.arrival_rate = 1000.0;
-        spec.prompt_min = 2;
-        spec.prompt_max = 40;
-        spec.output_min = 2;
-        spec.output_max = 16;
-        return spec;
-    }
-
-    static ServingOptions exec_opts()
-    {
-        ServingOptions opts;
-        opts.max_batch = 4;
-        opts.max_step_tokens = 24;
-        opts.tuple = {8, 7, 7, 6};
-        opts.executor = &executor();
-        opts.exec_run.prec = PrecisionConfig::anda(opts.tuple);
-        opts.exec_seed = 7;
-        return opts;
-    }
-
     static ServingReport run(const ServingOptions &opts)
     {
-        return simulate_serving(executor().config(),
-                                find_system("anda"), tech16(),
-                                generate_requests(exec_spec()), opts);
+        return serve_test::run_executed(opts, exec_spec());
     }
 };
 
@@ -359,7 +468,7 @@ TEST_F(ServingExecutionTest, GeneratesEveryTokenDeterministically)
             << "id=" << m.id;
         for (const int t : m.tokens) {
             EXPECT_GE(t, 0);
-            EXPECT_LT(t, executor().dims().vocab);
+            EXPECT_LT(t, tiny_executor().dims().vocab);
         }
         generated += m.tokens.size();
     }
@@ -420,10 +529,132 @@ TEST_F(ServingExecutionTest, RejectsRequestsBeyondExecutorMaxSeq)
     RequestStreamSpec spec = exec_spec();
     spec.prompt_max = 200;  // 200 + output - 1 > max_seq = 128.
     spec.prompt_min = 150;
-    EXPECT_THROW(simulate_serving(executor().config(),
+    EXPECT_THROW(simulate_serving(tiny_executor().config(),
                                   find_system("anda"), tech16(),
                                   generate_requests(spec), exec_opts()),
                  std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Paged execution: preemption and prefix reuse must never change a
+// single emitted token, and pricing-only paged runs must log the
+// identical allocate / preempt / readmit sequence.
+
+/// Exec options under the paged policy. The largest exec_spec request
+/// needs pages(40 + 16 - 1) + 1 = 8 pages of 8 rows; a tight budget
+/// leaves room for fewer full residents than max_batch = 4, forcing
+/// preemption, while a large budget never preempts.
+ServingOptions
+paged_exec_opts(std::size_t budget, PreemptPolicy policy)
+{
+    ServingOptions opts = exec_opts();
+    opts.cache_policy = CachePolicy::kPaged;
+    opts.page_size = 8;
+    opts.page_budget = budget;
+    opts.preempt = policy;
+    return opts;
+}
+
+TEST_F(ServingExecutionTest, PreemptionDoesNotChangeTokens)
+{
+    // Baseline: slab policy, no preemption possible.
+    const ServingReport slab = run(exec_opts());
+    // Ample pages: paged layout, still no preemption.
+    const ServingReport roomy =
+        run(paged_exec_opts(128, PreemptPolicy::kRecompute));
+    EXPECT_EQ(roomy.preemptions, 0u);
+    ASSERT_EQ(roomy.requests.size(), slab.requests.size());
+    for (std::size_t i = 0; i < slab.requests.size(); ++i) {
+        EXPECT_EQ(roomy.requests[i].tokens, slab.requests[i].tokens)
+            << "id=" << slab.requests[i].id;
+    }
+    // Tight pages: both preemption policies fire, yet every request's
+    // token stream is bit-identical to the unpreempted runs.
+    for (const PreemptPolicy policy :
+         {PreemptPolicy::kRecompute, PreemptPolicy::kSwap}) {
+        const ServingReport tight = run(paged_exec_opts(12, policy));
+        ASSERT_GE(tight.preemptions, 1u)
+            << "budget too loose to exercise preemption";
+        EXPECT_EQ(tight.readmits, tight.preemptions);
+        ASSERT_EQ(tight.requests.size(), slab.requests.size());
+        for (std::size_t i = 0; i < slab.requests.size(); ++i) {
+            EXPECT_EQ(tight.requests[i].tokens,
+                      slab.requests[i].tokens)
+                << "id=" << slab.requests[i].id;
+        }
+        if (policy == PreemptPolicy::kRecompute) {
+            EXPECT_GT(tight.recomputed_tokens, 0u);
+        } else {
+            EXPECT_EQ(tight.recomputed_tokens, 0u);
+        }
+    }
+}
+
+TEST_F(ServingExecutionTest, PagedExecutionMatchesPricingStepLog)
+{
+    for (const PreemptPolicy policy :
+         {PreemptPolicy::kRecompute, PreemptPolicy::kSwap}) {
+        const ServingOptions exec = paged_exec_opts(12, policy);
+        ServingOptions priced = exec;
+        priced.executor = nullptr;
+        const ServingReport a = run(exec);
+        const ServingReport b = run(priced);
+        ASSERT_GE(a.preemptions, 1u);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.readmits, b.readmits);
+        EXPECT_EQ(a.peak_used_pages, b.peak_used_pages);
+        EXPECT_EQ(a.recomputed_tokens, b.recomputed_tokens);
+        EXPECT_EQ(a.reused_prefix_tokens, b.reused_prefix_tokens);
+        ASSERT_EQ(a.steps.size(), b.steps.size());
+        for (std::size_t i = 0; i < a.steps.size(); ++i) {
+            EXPECT_EQ(a.steps[i].cycles, b.steps[i].cycles);
+            EXPECT_EQ(a.steps[i].prefill_tokens,
+                      b.steps[i].prefill_tokens);
+            EXPECT_EQ(a.steps[i].decode_tokens,
+                      b.steps[i].decode_tokens);
+            EXPECT_EQ(a.steps[i].cache_tokens,
+                      b.steps[i].cache_tokens);
+            EXPECT_EQ(a.steps[i].used_pages, b.steps[i].used_pages);
+            EXPECT_EQ(a.steps[i].free_pages, b.steps[i].free_pages);
+            EXPECT_EQ(a.steps[i].preemptions, b.steps[i].preemptions);
+        }
+        EXPECT_EQ(a.makespan_s, b.makespan_s);
+        // summary() differs only by the executed-checksum segment.
+        EXPECT_NE(a.summary().find("preempt"), std::string::npos);
+        EXPECT_NE(b.summary().find("preempt"), std::string::npos);
+    }
+}
+
+TEST_F(ServingExecutionTest, PrefixReuseSkipsPrefillWithoutTokenDrift)
+{
+    // A shared system prompt shapes the synthetic prompts under every
+    // policy, so slab and paged runs see identical requests; the
+    // paged run additionally adopts the anchor's K/V pages.
+    ServingOptions slab = exec_opts();
+    slab.shared_prefix_len = 12;
+    const ServingReport base = run(slab);
+
+    ServingOptions shared = paged_exec_opts(128, PreemptPolicy::kSwap);
+    shared.shared_prefix_len = 12;
+    const ServingReport reuse = run(shared);
+    EXPECT_GT(reuse.reused_prefix_tokens, 0u);
+    ASSERT_EQ(reuse.requests.size(), base.requests.size());
+    for (std::size_t i = 0; i < base.requests.size(); ++i) {
+        EXPECT_EQ(reuse.requests[i].tokens, base.requests[i].tokens)
+            << "id=" << base.requests[i].id;
+    }
+    // Adopted rows are never prefilled: conservation picks them up.
+    std::size_t prefill = 0;
+    for (const auto &s : reuse.steps) {
+        prefill += s.prefill_tokens;
+    }
+    EXPECT_EQ(prefill + reuse.reused_prefix_tokens,
+              reuse.total_prompt_tokens + reuse.recomputed_tokens);
+    // And the paged pricing-only twin logs the same reuse.
+    ServingOptions priced = shared;
+    priced.executor = nullptr;
+    EXPECT_EQ(run(priced).reused_prefix_tokens,
+              reuse.reused_prefix_tokens);
 }
 
 TEST_F(ServingSimTest, RejectsDegenerateInputs)
