@@ -1,0 +1,43 @@
+#include "common/check.h"
+
+namespace anda {
+namespace detail {
+
+std::string
+check_format(const char *macro, const char *expr, const char *file,
+             int line, const std::string &msg)
+{
+    std::string out;
+    out.reserve(64 + msg.size());
+    out += macro;
+    if (expr[0] != '\0') {
+        out += " failed: ";
+        out += expr;
+    }
+    out += " at ";
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    if (!msg.empty()) {
+        out += ": ";
+        out += msg;
+    }
+    return out;
+}
+
+void
+check_fail(const char *macro, const char *expr, const char *file,
+           int line, const std::string &msg)
+{
+    throw CheckError(check_format(macro, expr, file, line, msg));
+}
+
+void
+check_fail_rt(const char *macro, const char *expr, const char *file,
+              int line, const std::string &msg)
+{
+    throw ResourceError(check_format(macro, expr, file, line, msg));
+}
+
+}  // namespace detail
+}  // namespace anda

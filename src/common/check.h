@@ -1,0 +1,226 @@
+#pragma once
+
+/// @file
+/// Unified contract-check layer: ANDA_CHECK / ANDA_DCHECK and friends.
+///
+/// Before this layer, correctness invariants were split between bare
+/// `assert` (silently compiled out of every Release build, including
+/// the sanitizer CI lanes) and hand-rolled `throw std::invalid_argument`
+/// / `std::logic_error` / `std::runtime_error` sites with ad-hoc
+/// messages. This header replaces both with one policy:
+///
+///  * ANDA_CHECK(cond, msg...)      — always on, in every build type.
+///    Throws anda::CheckError with "<MACRO> failed: <expr> at
+///    <file>:<line>[: <msg>]". Use for API preconditions and contract
+///    violations a caller could trigger (shape mismatches, out-of-range
+///    arguments, use-after-release). CheckError derives from
+///    std::invalid_argument (and therefore std::logic_error), so
+///    existing catch/EXPECT_THROW sites keyed on either keep working.
+///
+///  * ANDA_CHECK_RT(cond, msg...)   — always on; throws
+///    anda::ResourceError (derives std::runtime_error). Use for
+///    runtime resource exhaustion the caller is expected to catch and
+///    handle (KV page pool exhausted -> scheduler preempts and
+///    retries), as opposed to CheckError which is a bug.
+///
+///  * ANDA_CHECK_EQ/NE/LT/LE/GT/GE(a, b, msg...) — ANDA_CHECK variants
+///    that print both operand values on failure.
+///
+///  * ANDA_DCHECK / ANDA_DCHECK_* — same signatures, but compiled in
+///    only when ANDA_DCHECKS_ENABLED (Debug builds, and any
+///    ANDA_SANITIZE build: the CMake sanitizer presets define
+///    ANDA_ENABLE_DCHECKS). Use on hot paths (per-element accessors,
+///    inner-loop invariants) where an always-on check would cost real
+///    throughput in Release. Unlike the bare asserts they replace,
+///    DCHECKs are exercised by the ASan/UBSan/TSan CI lanes.
+///
+///  * ANDA_FAIL(msg...) — unconditional CheckError throw for
+///    unreachable switch defaults ("unknown system: ...").
+///
+/// tools/anda_lint.py enforces that no bare `assert` remains under
+/// src/; docs/ANALYSIS.md documents the CHECK-vs-DCHECK policy.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace anda {
+
+/// Contract violation: a precondition or internal invariant a caller
+/// (or this library) broke. Programming error — do not catch to retry.
+class CheckError : public std::invalid_argument {
+  public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Runtime resource exhaustion (e.g. the KV page pool is out of
+/// pages). Expected under load; callers catch it and back off.
+class ResourceError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Builds the optional user message from the macro's trailing
+/// arguments by streaming them in order (empty string for none).
+template <typename... Args>
+std::string
+check_msg(Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream out;
+        (out << ... << std::forward<Args>(args));
+        return std::move(out).str();
+    }
+}
+
+/// "<macro> failed: <expr> at <file>:<line>[: <msg>]"; with an empty
+/// expr (ANDA_FAIL) the "failed: <expr>" clause is dropped.
+std::string check_format(const char *macro, const char *expr,
+                         const char *file, int line,
+                         const std::string &msg);
+
+[[noreturn]] void check_fail(const char *macro, const char *expr,
+                             const char *file, int line,
+                             const std::string &msg);
+
+[[noreturn]] void check_fail_rt(const char *macro, const char *expr,
+                                const char *file, int line,
+                                const std::string &msg);
+
+template <typename A, typename B>
+[[noreturn]] void
+check_op_fail(const char *macro, const char *expr, const char *file,
+              int line, const A &a, const B &b, const std::string &msg)
+{
+    std::ostringstream vals;
+    vals << expr << " (" << a << " vs " << b << ")";
+    check_fail(macro, vals.str().c_str(), file, line, msg);
+}
+
+}  // namespace detail
+}  // namespace anda
+
+#define ANDA_CHECK(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::anda::detail::check_fail(                                 \
+                "ANDA_CHECK", #cond, __FILE__, __LINE__,                \
+                ::anda::detail::check_msg(__VA_ARGS__));                \
+        }                                                               \
+    } while (0)
+
+#define ANDA_CHECK_RT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::anda::detail::check_fail_rt(                              \
+                "ANDA_CHECK_RT", #cond, __FILE__, __LINE__,             \
+                ::anda::detail::check_msg(__VA_ARGS__));                \
+        }                                                               \
+    } while (0)
+
+#define ANDA_FAIL(...)                                                  \
+    ::anda::detail::check_fail("ANDA_FAIL", "", __FILE__, __LINE__,     \
+                               ::anda::detail::check_msg(__VA_ARGS__))
+
+// Internal: shared body of the binary-comparison checks. Operands are
+// bound once (no double evaluation) and printed on failure.
+#define ANDA_CHECK_OP_(macro, op, a, b, ...)                            \
+    do {                                                                \
+        const auto &anda_check_a_ = (a);                                \
+        const auto &anda_check_b_ = (b);                                \
+        if (!(anda_check_a_ op anda_check_b_)) {                        \
+            ::anda::detail::check_op_fail(                              \
+                macro, #a " " #op " " #b, __FILE__, __LINE__,           \
+                anda_check_a_, anda_check_b_,                           \
+                ::anda::detail::check_msg(__VA_ARGS__));                \
+        }                                                               \
+    } while (0)
+
+#define ANDA_CHECK_EQ(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_CHECK_EQ", ==, a, b, __VA_ARGS__)
+#define ANDA_CHECK_NE(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_CHECK_NE", !=, a, b, __VA_ARGS__)
+#define ANDA_CHECK_LT(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_CHECK_LT", <, a, b, __VA_ARGS__)
+#define ANDA_CHECK_LE(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_CHECK_LE", <=, a, b, __VA_ARGS__)
+#define ANDA_CHECK_GT(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_CHECK_GT", >, a, b, __VA_ARGS__)
+#define ANDA_CHECK_GE(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_CHECK_GE", >=, a, b, __VA_ARGS__)
+
+// Debug checks: on in Debug builds (no NDEBUG) and whenever the build
+// opts in explicitly — the sanitizer presets define ANDA_ENABLE_DCHECKS
+// so ASan/UBSan/TSan lanes run them at RelWithDebInfo speed.
+#if !defined(NDEBUG) || defined(ANDA_ENABLE_DCHECKS)
+#define ANDA_DCHECKS_ENABLED 1
+#else
+#define ANDA_DCHECKS_ENABLED 0
+#endif
+
+#if ANDA_DCHECKS_ENABLED
+#define ANDA_DCHECK(cond, ...) ANDA_CHECK(cond, __VA_ARGS__)
+#define ANDA_DCHECK_EQ(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_DCHECK_EQ", ==, a, b, __VA_ARGS__)
+#define ANDA_DCHECK_NE(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_DCHECK_NE", !=, a, b, __VA_ARGS__)
+#define ANDA_DCHECK_LT(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_DCHECK_LT", <, a, b, __VA_ARGS__)
+#define ANDA_DCHECK_LE(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_DCHECK_LE", <=, a, b, __VA_ARGS__)
+#define ANDA_DCHECK_GT(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_DCHECK_GT", >, a, b, __VA_ARGS__)
+#define ANDA_DCHECK_GE(a, b, ...) \
+    ANDA_CHECK_OP_("ANDA_DCHECK_GE", >=, a, b, __VA_ARGS__)
+#else
+// Disabled: the condition and message arguments still compile (so a
+// Release build cannot silently rot them) but are never evaluated and
+// fold away entirely under optimization.
+#define ANDA_DCHECK(cond, ...)                   \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK(cond, __VA_ARGS__);       \
+        }                                        \
+    } while (0)
+#define ANDA_DCHECK_EQ(a, b, ...)                \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK_EQ(a, b, __VA_ARGS__);    \
+        }                                        \
+    } while (0)
+#define ANDA_DCHECK_NE(a, b, ...)                \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK_NE(a, b, __VA_ARGS__);    \
+        }                                        \
+    } while (0)
+#define ANDA_DCHECK_LT(a, b, ...)                \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK_LT(a, b, __VA_ARGS__);    \
+        }                                        \
+    } while (0)
+#define ANDA_DCHECK_LE(a, b, ...)                \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK_LE(a, b, __VA_ARGS__);    \
+        }                                        \
+    } while (0)
+#define ANDA_DCHECK_GT(a, b, ...)                \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK_GT(a, b, __VA_ARGS__);    \
+        }                                        \
+    } while (0)
+#define ANDA_DCHECK_GE(a, b, ...)                \
+    do {                                         \
+        if (false) {                             \
+            ANDA_CHECK_GE(a, b, __VA_ARGS__);    \
+        }                                        \
+    } while (0)
+#endif

@@ -7,7 +7,8 @@ namespace anda {
 double
 max_abs_diff(const Matrix &a, const Matrix &b)
 {
-    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    ANDA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "matrix shapes must match");
     double m = 0.0;
     const auto fa = a.flat();
     const auto fb = b.flat();
@@ -20,7 +21,8 @@ max_abs_diff(const Matrix &a, const Matrix &b)
 double
 rms_diff(const Matrix &a, const Matrix &b)
 {
-    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    ANDA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "matrix shapes must match");
     const auto fa = a.flat();
     const auto fb = b.flat();
     if (fa.empty()) {

@@ -7,10 +7,11 @@
 /// every workload in the paper is a 2-D GeMM (tokens x channels), so a
 /// row-major float matrix plus std::span row views covers all needs.
 
-#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "common/check.h"
 
 namespace anda {
 
@@ -32,24 +33,24 @@ class Matrix {
 
     float &operator()(std::size_t r, std::size_t c)
     {
-        assert(r < rows_ && c < cols_);
+        ANDA_DCHECK(r < rows_ && c < cols_, "Matrix index out of range");
         return data_[r * cols_ + c];
     }
     float operator()(std::size_t r, std::size_t c) const
     {
-        assert(r < rows_ && c < cols_);
+        ANDA_DCHECK(r < rows_ && c < cols_, "Matrix index out of range");
         return data_[r * cols_ + c];
     }
 
     /// Mutable view of one row.
     std::span<float> row(std::size_t r)
     {
-        assert(r < rows_);
+        ANDA_DCHECK_LT(r, rows_, "Matrix row out of range");
         return {data_.data() + r * cols_, cols_};
     }
     std::span<const float> row(std::size_t r) const
     {
-        assert(r < rows_);
+        ANDA_DCHECK_LT(r, rows_, "Matrix row out of range");
         return {data_.data() + r * cols_, cols_};
     }
 

@@ -19,6 +19,17 @@ thread_local bool tls_in_parallel = false;
 
 std::atomic<std::size_t> g_threads_created{0};
 
+// Marks the calling thread in-parallel for the duration of a region it
+// executes inline (the serial fallback and the submitter's share of a
+// pool run), restoring the previous state on exit so parallel_nested()
+// is accurate even on single-core hosts where every region degrades to
+// the serial path.
+struct InParallelScope {
+    bool prev = tls_in_parallel;
+    InParallelScope() { tls_in_parallel = true; }
+    ~InParallelScope() { tls_in_parallel = prev; }
+};
+
 // One blocking parallel region. Lives on the submitting thread's stack;
 // the pool guarantees no worker touches it after `active` drops to the
 // last-seen zero the submitter waits for.
@@ -199,12 +210,14 @@ parallel_for_chunked(std::size_t begin, std::size_t end,
                                            : max_threads;
     workers = std::min(workers, n);
     if (workers <= 1 || tls_in_parallel) {
+        const InParallelScope scope;
         fn(begin, end);
         return;
     }
     ThreadPool &pool = ThreadPool::instance();
     workers = std::min(workers, pool.worker_count() + 1);
     if (workers <= 1) {
+        const InParallelScope scope;
         fn(begin, end);
         return;
     }
@@ -218,9 +231,8 @@ parallel_for_chunked(std::size_t begin, std::size_t end,
     job.chunk = (n + target_chunks - 1) / target_chunks;
     job.n_chunks = (n + job.chunk - 1) / job.chunk;
     job.slots = static_cast<int>(workers - 1);
-    tls_in_parallel = true;
+    const InParallelScope scope;
     pool.run(job);
-    tls_in_parallel = false;
 }
 
 void

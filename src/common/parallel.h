@@ -47,7 +47,11 @@ void parallel_for_chunked(
 std::size_t default_thread_count();
 
 /// True when the calling thread is already inside a parallel region
-/// (a parallel_for issued here would run serially inline). Lets
+/// (a parallel_for issued here would run serially inline). This holds
+/// on pool workers, on the submitting thread while it executes its
+/// share of a region, and during the serial fallback of a region that
+/// could not go parallel (single-core hosts, tiny ranges) — the body
+/// of a parallel_for always observes it as true. Lets
 /// drivers pick work granularity: e.g. perplexity batches all
 /// sequences into one stacked forward pass when its batch loop cannot
 /// parallelize anyway.

@@ -1,19 +1,17 @@
 #include "format/anda_tensor.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace anda {
 
 AndaTensor
 AndaTensor::encode(std::span<const float> values, int mantissa_bits)
 {
-    if (mantissa_bits < 1 || mantissa_bits > kAndaMaxMantissa) {
-        throw std::invalid_argument(
-            "Anda mantissa length must be in [1, 16]");
-    }
+    ANDA_CHECK(mantissa_bits >= 1 && mantissa_bits <= kAndaMaxMantissa,
+               "Anda mantissa length must be in [1, 16]");
     AndaTensor t;
     t.mantissa_bits_ = mantissa_bits;
     t.size_ = values.size();
@@ -56,8 +54,8 @@ AndaTensor::encode(std::span<const float> values, int mantissa_bits)
 void
 AndaTensor::decode_group(std::size_t g, std::span<float> out) const
 {
-    assert(g < groups_.size());
-    assert(out.size() >= kAndaGroupSize);
+    ANDA_DCHECK_LT(g, groups_.size());
+    ANDA_DCHECK_GE(out.size(), static_cast<std::size_t>(kAndaGroupSize));
     const AndaGroup &grp = groups_[g];
     const float scale =
         bfp_group_scale(grp.shared_exponent, mantissa_bits_);
@@ -90,7 +88,7 @@ AndaTensor::decode() const
 std::uint32_t
 AndaTensor::mantissa_of(std::size_t i) const
 {
-    assert(i < size_);
+    ANDA_DCHECK_LT(i, size_);
     const AndaGroup &grp = groups_[i / kAndaGroupSize];
     const int lane = static_cast<int>(i % kAndaGroupSize);
     std::uint32_t mant = 0;
@@ -104,7 +102,7 @@ AndaTensor::mantissa_of(std::size_t i) const
 int
 AndaTensor::sign_of(std::size_t i) const
 {
-    assert(i < size_);
+    ANDA_DCHECK_LT(i, size_);
     const AndaGroup &grp = groups_[i / kAndaGroupSize];
     return static_cast<int>((grp.sign_plane >> (i % kAndaGroupSize)) & 1u);
 }

@@ -1,8 +1,9 @@
 #include "format/bfp.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace anda {
 
@@ -22,7 +23,8 @@ effective_exponent(Fp16 h)
 BfpGroup
 encode_bfp_group(std::span<const float> values, const BfpParams &params)
 {
-    assert(params.mantissa_bits >= 1 && params.mantissa_bits < 32);
+    ANDA_CHECK(params.mantissa_bits >= 1 && params.mantissa_bits < 32,
+               "BFP mantissa length out of range");
     BfpGroup group;
     group.elems.resize(values.size());
 
@@ -63,8 +65,9 @@ encode_bfp_group(std::span<const float> values, const BfpParams &params)
         } else {
             e.mantissa = sig << (-total_shift);
         }
-        assert(m >= 32 ||
-               e.mantissa < (static_cast<std::uint32_t>(1) << m));
+        ANDA_DCHECK(m >= 32 ||
+                        e.mantissa < (static_cast<std::uint32_t>(1) << m),
+                    "BFP mantissa overflows its bit budget");
     }
     return group;
 }
@@ -95,8 +98,9 @@ void
 bfp_roundtrip(std::span<const float> input, std::span<float> output,
               const BfpParams &params)
 {
-    assert(input.size() == output.size());
-    assert(params.group_size >= 1);
+    ANDA_CHECK_EQ(input.size(), output.size(),
+                  "BFP round-trip spans must match");
+    ANDA_CHECK_GE(params.group_size, 1);
     const std::size_t gs = static_cast<std::size_t>(params.group_size);
     for (std::size_t base = 0; base < input.size(); base += gs) {
         const std::size_t len = std::min(gs, input.size() - base);

@@ -1,8 +1,8 @@
 #include "format/compressor.h"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+
+#include "common/check.h"
 
 #include "common/fp16.h"
 
@@ -11,12 +11,10 @@ namespace anda {
 BpcLaneOutput
 bpc_compress_lane(std::span<const float> values, int mantissa_bits)
 {
-    if (values.size() > static_cast<std::size_t>(kAndaGroupSize)) {
-        throw std::invalid_argument("BPC lane takes at most 64 values");
-    }
-    if (mantissa_bits < 1 || mantissa_bits > kAndaMaxMantissa) {
-        throw std::invalid_argument("BPC mantissa length out of range");
-    }
+    ANDA_CHECK_LE(values.size(), static_cast<std::size_t>(kAndaGroupSize),
+                  "BPC lane takes at most 64 values");
+    ANDA_CHECK(mantissa_bits >= 1 && mantissa_bits <= kAndaMaxMantissa,
+               "BPC mantissa length out of range");
 
     // --- FP field extractor ---
     int sign[kAndaGroupSize] = {};
@@ -96,14 +94,12 @@ bpc_compress(std::span<const float> values, int mantissa_bits)
         const AndaGroup &grp = reference.group(g);
         // Hardware-model sanity: the serial aligner must agree with the
         // direct conversion plane-for-plane.
-        assert(lane.sign_plane == grp.sign_plane);
-        assert(lane.shared_exponent == grp.shared_exponent);
+        ANDA_DCHECK_EQ(lane.sign_plane, grp.sign_plane);
+        ANDA_DCHECK_EQ(lane.shared_exponent, grp.shared_exponent);
         for (int p = 0; p < mantissa_bits; ++p) {
-            assert(lane.mant_planes[static_cast<std::size_t>(p)] ==
-                   grp.mant_planes[p]);
+            ANDA_DCHECK_EQ(lane.mant_planes[static_cast<std::size_t>(p)],
+                           grp.mant_planes[p]);
         }
-        (void)grp;
-        (void)lane;
     }
     return reference;
 }

@@ -1,7 +1,6 @@
 #include "hw/accelerator.h"
 
-#include <stdexcept>
-
+#include "common/check.h"
 #include "format/anda_tensor.h"
 
 namespace anda {
@@ -15,7 +14,7 @@ AcceleratorConfig::act_bits_per_element(int mantissa_bits) const
     case ActStorageFormat::kAnda:
         return AndaTensor::bits_per_element(mantissa_bits);
     }
-    throw std::invalid_argument("unknown storage format");
+    ANDA_FAIL("unknown storage format");
 }
 
 int
@@ -61,7 +60,7 @@ find_system(const std::string &name)
             return c;
         }
     }
-    throw std::invalid_argument("unknown system: " + name);
+    ANDA_FAIL("unknown system: ", name);
 }
 
 }  // namespace anda

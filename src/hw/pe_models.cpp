@@ -1,6 +1,6 @@
 #include "hw/pe_models.h"
 
-#include <stdexcept>
+#include "common/check.h"
 
 namespace anda {
 
@@ -159,7 +159,7 @@ pe_gate_budget(PeType type)
     case PeType::kAnda:
         return anda_unit();
     }
-    throw std::invalid_argument("unknown PE type");
+    ANDA_FAIL("unknown PE type");
 }
 
 GateBudget
@@ -215,7 +215,7 @@ baseline_cycles_per_group(PeType type)
     case PeType::kAnda:
         return 16;  // Peak (full-precision) rate; see per-GeMM model.
     }
-    throw std::invalid_argument("unknown PE type");
+    ANDA_FAIL("unknown PE type");
 }
 
 int

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
+#include "common/check.h"
 #include "common/fp16.h"
 #include "common/parallel.h"
 
@@ -15,13 +15,8 @@ namespace {
 void
 check_gemm_shapes(std::size_t a_cols, std::size_t w_cols, const char *kernel)
 {
-    if (a_cols != w_cols) {
-        throw std::invalid_argument(
-            std::string(kernel) +
-            ": activation columns (" + std::to_string(a_cols) +
-            ") must equal weight columns (" + std::to_string(w_cols) +
-            ")");
-    }
+    ANDA_CHECK_EQ(a_cols, w_cols, kernel,
+                  ": activation columns must equal weight columns");
 }
 
 }  // namespace
@@ -147,10 +142,8 @@ std::int64_t
 anda_group_dot(const AndaGroup &g, int mantissa_bits,
                std::span<const std::int8_t> w)
 {
-    if (w.size() != static_cast<std::size_t>(kAndaGroupSize)) {
-        throw std::invalid_argument(
-            "anda_group_dot: weight span must hold exactly one group");
-    }
+    ANDA_CHECK_EQ(w.size(), static_cast<std::size_t>(kAndaGroupSize),
+                  "anda_group_dot: weight span must hold exactly one group");
     // Effective signed weights: the sign plane flips the weight feeding
     // the adder tree, so bit-plane partial sums are plain sums.
     std::int32_t signed_w[kAndaGroupSize];
@@ -221,11 +214,9 @@ gemm_anda(const Matrix &a, const QuantizedWeight &w,
           const AndaGemmOptions &opts)
 {
     check_gemm_shapes(a.cols(), w.cols(), "gemm_anda");
-    if (w.group_size() % kAndaGroupSize != 0) {
-        throw std::invalid_argument(
-            "weight scale group size must be a multiple of the Anda "
-            "group size (64)");
-    }
+    ANDA_CHECK_EQ(w.group_size() % kAndaGroupSize, 0,
+                  "weight scale group size must be a multiple of the Anda "
+                  "group size (64)");
     const std::size_t k = a.cols();
     const std::size_t n_rows = w.rows();
     const std::size_t n_groups = (k + kAndaGroupSize - 1) / kAndaGroupSize;

@@ -1,6 +1,6 @@
 #include "llm/config.h"
 
-#include <stdexcept>
+#include "common/check.h"
 
 namespace anda {
 
@@ -140,7 +140,7 @@ find_model(const std::string &name)
     if (name == opt_125m().name) {
         return opt_125m();
     }
-    throw std::invalid_argument("unknown model: " + name);
+    ANDA_FAIL("unknown model: ", name);
 }
 
 std::string

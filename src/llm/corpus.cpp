@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
@@ -35,7 +35,7 @@ find_dataset(const std::string &name)
             return s;
         }
     }
-    throw std::invalid_argument("unknown dataset: " + name);
+    ANDA_FAIL("unknown dataset: ", name);
 }
 
 std::size_t
@@ -71,9 +71,7 @@ perplexity(const Transformer &model, const Corpus &corpus,
            const RunOptions &opts, const EvalOptions &eval)
 {
     const std::size_t n = corpus.sequences.size();
-    if (n == 0) {
-        throw std::invalid_argument("empty corpus");
-    }
+    ANDA_CHECK_GT(n, 0u, "empty corpus");
     // Batch size: one batch per worker keeps every pool thread busy;
     // when the loop below cannot parallelize anyway (explicit serial or
     // nested inside a sweep worker), stack everything into one forward

@@ -1,8 +1,8 @@
 #include "llm/kv_cache.h"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace anda {
 
@@ -19,25 +19,21 @@ KvCache::KvCache(std::size_t n_layers, std::size_t d_model,
                  std::size_t max_seq)
     : d_model_(d_model), max_seq_(max_seq), k_(n_layers), v_(n_layers)
 {
-    if (n_layers == 0 || d_model == 0 || max_seq == 0) {
-        throw std::invalid_argument("degenerate KvCache dimensions");
-    }
+    ANDA_CHECK(n_layers > 0 && d_model > 0 && max_seq > 0,
+               "degenerate KvCache dimensions");
 }
 
 void
 KvCache::reserve(std::size_t rows)
 {
-    if (rows > max_seq_) {
-        throw std::invalid_argument(
-            "KvCache: sequence exceeds max_seq");
-    }
+    ANDA_CHECK_LE(rows, max_seq_, "KvCache: sequence exceeds max_seq");
     if (rows <= capacity_) {
         return;
     }
     const std::size_t grown =
         std::max({rows, 2 * capacity_, kMinCapacity});
     const std::size_t new_cap = std::min(grown, max_seq_);
-    assert(new_cap >= rows);
+    ANDA_DCHECK_GE(new_cap, rows);
     for (std::size_t l = 0; l < k_.size(); ++l) {
         Matrix nk(new_cap, d_model_);
         Matrix nv(new_cap, d_model_);
@@ -56,10 +52,8 @@ KvCache::reserve(std::size_t rows)
 void
 KvCache::advance(std::size_t n)
 {
-    if (length_ + n > capacity_) {
-        throw std::logic_error(
-            "KvCache: advance past allocated capacity");
-    }
+    ANDA_CHECK_LE(length_ + n, capacity_,
+                  "KvCache: advance past allocated capacity");
     length_ += n;
 }
 
@@ -78,10 +72,7 @@ void
 BatchKvCache::add(KvSeq &cache)
 {
     for (const KvSeq *c : caches_) {
-        if (c == &cache) {
-            throw std::invalid_argument(
-                "BatchKvCache: duplicate cache in batch");
-        }
+        ANDA_CHECK(c != &cache, "BatchKvCache: duplicate cache in batch");
     }
     caches_.push_back(&cache);
 }

@@ -1,8 +1,8 @@
 #include "llm/kv_pages.h"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace anda {
 
@@ -19,44 +19,74 @@ KvPageAllocator::KvPageAllocator(std::size_t n_pages)
 PageId
 KvPageAllocator::alloc()
 {
-    if (free_.empty()) {
-        throw std::runtime_error("KvPageAllocator: out of pages");
-    }
+    ANDA_CHECK_RT(!free_.empty(), "KvPageAllocator: out of pages");
     const PageId page = free_.back();
     free_.pop_back();
-    assert(refcount_[page] == 0);
+    ANDA_DCHECK_EQ(refcount_[page], 0u,
+                   "free-listed page has live references");
     refcount_[page] = 1;
+#if ANDA_DCHECKS_ENABLED
+    check_invariants();
+#endif
     return page;
 }
 
 void
 KvPageAllocator::retain(PageId page)
 {
-    if (page >= refcount_.size() || refcount_[page] == 0) {
-        throw std::logic_error("KvPageAllocator: retain of dead page");
-    }
+    ANDA_CHECK(page < refcount_.size() && refcount_[page] != 0,
+               "KvPageAllocator: retain of dead page");
     ++refcount_[page];
 }
 
 void
 KvPageAllocator::release(PageId page)
 {
-    if (page >= refcount_.size() || refcount_[page] == 0) {
-        throw std::logic_error(
-            "KvPageAllocator: release of dead page (double free?)");
-    }
+    ANDA_CHECK(page < refcount_.size() && refcount_[page] != 0,
+               "KvPageAllocator: release of dead page (double free?)");
     if (--refcount_[page] == 0) {
         free_.push_back(page);
     }
+#if ANDA_DCHECKS_ENABLED
+    check_invariants();
+#endif
+}
+
+void
+KvPageAllocator::check_invariants() const
+{
+    // Page-conservation: the free list and the live refcounts
+    // partition the fixed population exactly.
+    ANDA_CHECK_LE(free_.size(), refcount_.size(),
+                  "free list larger than the page population");
+    ANDA_CHECK_EQ(used_pages() + free_pages(), total_pages(),
+                  "page conservation violated");
+    std::vector<bool> on_free_list(refcount_.size(), false);
+    for (const PageId page : free_) {
+        ANDA_CHECK_LT(page, refcount_.size(),
+                      "free list holds an unknown page");
+        ANDA_CHECK(!on_free_list[page], "page free-listed twice");
+        on_free_list[page] = true;
+        ANDA_CHECK_EQ(refcount_[page], 0u,
+                      "free-listed page has live references");
+    }
+    std::size_t live = 0;
+    for (std::size_t p = 0; p < refcount_.size(); ++p) {
+        if (refcount_[p] != 0) {
+            ++live;
+            ANDA_CHECK(!on_free_list[p],
+                       "live page is also free-listed");
+        }
+    }
+    ANDA_CHECK_EQ(live, used_pages(),
+                  "live refcounts do not match used_pages()");
 }
 
 std::uint32_t
 KvPageAllocator::refcount(PageId page) const
 {
-    if (page >= refcount_.size()) {
-        throw std::logic_error(
-            "KvPageAllocator: refcount of unknown page");
-    }
+    ANDA_CHECK_LT(page, refcount_.size(),
+                  "KvPageAllocator: refcount of unknown page");
     return refcount_[page];
 }
 
@@ -69,10 +99,9 @@ KvPagePool::KvPagePool(std::size_t n_layers, std::size_t d_model,
       page_size_(page_size),
       alloc_(n_pages)
 {
-    if (n_layers == 0 || d_model == 0 || max_seq == 0 ||
-        page_size == 0) {
-        throw std::invalid_argument("degenerate KvPagePool dimensions");
-    }
+    ANDA_CHECK(n_layers > 0 && d_model > 0 && max_seq > 0 &&
+                   page_size > 0,
+               "degenerate KvPagePool dimensions");
     if (with_storage) {
         k_.reserve(n_layers);
         v_.reserve(n_layers);
@@ -152,20 +181,17 @@ PagedKvCache::max_extension(std::size_t avail_pages) const
 void
 PagedKvCache::reserve(std::size_t rows)
 {
-    if (rows > pool_->max_seq()) {
-        throw std::invalid_argument(
-            "PagedKvCache: sequence exceeds max_seq");
-    }
+    ANDA_CHECK_LE(rows, pool_->max_seq(),
+                  "PagedKvCache: sequence exceeds max_seq");
     const std::size_t needed = new_pages_needed(rows);
     if (needed == 0) {
         return;
     }
     KvPageAllocator &alloc = pool_->allocator();
-    if (needed > alloc.free_pages()) {
-        // Checked up front so a partial allocation never leaks into
-        // the table (strong guarantee for scheduler retry logic).
-        throw std::runtime_error("PagedKvCache: page pool exhausted");
-    }
+    // Checked up front so a partial allocation never leaks into the
+    // table (strong guarantee for scheduler retry logic).
+    ANDA_CHECK_RT(needed <= alloc.free_pages(),
+                  "PagedKvCache: page pool exhausted");
     const std::size_t ps = pool_->page_size();
     if (rows > length_ && length_ % ps != 0 &&
         alloc.refcount(table_.back()) > 1) {
@@ -188,26 +214,33 @@ PagedKvCache::reserve(std::size_t rows)
         }
         alloc.release(shared);
         table_.back() = priv;
+        // CoW isolation: the private copy must be exclusively ours.
+        ANDA_DCHECK_EQ(alloc.refcount(priv), 1u,
+                       "copy-on-extend page is still shared");
     }
     while (capacity() < rows) {
         table_.push_back(alloc.alloc());
     }
+#if ANDA_DCHECKS_ENABLED
+    dcheck_consistent();
+#endif
 }
 
 void
 PagedKvCache::advance(std::size_t n)
 {
-    if (length_ + n > capacity()) {
-        throw std::logic_error(
-            "PagedKvCache: advance past allocated capacity");
-    }
+    ANDA_CHECK_LE(length_ + n, capacity(),
+                  "PagedKvCache: advance past allocated capacity");
     length_ += n;
+#if ANDA_DCHECKS_ENABLED
+    dcheck_consistent();
+#endif
 }
 
 std::span<float>
 PagedKvCache::k_row(std::size_t layer, std::size_t pos)
 {
-    assert(pool_->with_storage());
+    ANDA_DCHECK(pool_->with_storage());
     const std::size_t ps = pool_->page_size();
     return pool_->k_slot(layer, table_[pos / ps], pos % ps);
 }
@@ -215,7 +248,7 @@ PagedKvCache::k_row(std::size_t layer, std::size_t pos)
 std::span<float>
 PagedKvCache::v_row(std::size_t layer, std::size_t pos)
 {
-    assert(pool_->with_storage());
+    ANDA_DCHECK(pool_->with_storage());
     const std::size_t ps = pool_->page_size();
     return pool_->v_slot(layer, table_[pos / ps], pos % ps);
 }
@@ -223,7 +256,7 @@ PagedKvCache::v_row(std::size_t layer, std::size_t pos)
 std::span<const float>
 PagedKvCache::k_row(std::size_t layer, std::size_t pos) const
 {
-    assert(pool_->with_storage());
+    ANDA_DCHECK(pool_->with_storage());
     const std::size_t ps = pool_->page_size();
     return pool_->k_slot(layer, table_[pos / ps], pos % ps);
 }
@@ -231,7 +264,7 @@ PagedKvCache::k_row(std::size_t layer, std::size_t pos) const
 std::span<const float>
 PagedKvCache::v_row(std::size_t layer, std::size_t pos) const
 {
-    assert(pool_->with_storage());
+    ANDA_DCHECK(pool_->with_storage());
     const std::size_t ps = pool_->page_size();
     return pool_->v_slot(layer, table_[pos / ps], pos % ps);
 }
@@ -240,18 +273,12 @@ void
 PagedKvCache::adopt_prefix(const PagedKvCache &donor,
                            std::size_t tokens)
 {
-    if (length_ != 0 || !table_.empty()) {
-        throw std::logic_error(
-            "PagedKvCache: adopt_prefix into a non-empty sequence");
-    }
-    if (donor.pool_ != pool_) {
-        throw std::invalid_argument(
-            "PagedKvCache: adopt_prefix across pools");
-    }
-    if (tokens > donor.length_) {
-        throw std::invalid_argument(
-            "PagedKvCache: adopt_prefix past the donor's length");
-    }
+    ANDA_CHECK(length_ == 0 && table_.empty(),
+               "PagedKvCache: adopt_prefix into a non-empty sequence");
+    ANDA_CHECK(donor.pool_ == pool_,
+               "PagedKvCache: adopt_prefix across pools");
+    ANDA_CHECK_LE(tokens, donor.length_,
+                  "PagedKvCache: adopt_prefix past the donor's length");
     const std::size_t n = pages_for(tokens, pool_->page_size());
     KvPageAllocator &alloc = pool_->allocator();
     table_.reserve(n);
@@ -260,6 +287,9 @@ PagedKvCache::adopt_prefix(const PagedKvCache &donor,
         table_.push_back(donor.table_[i]);
     }
     length_ = tokens;
+#if ANDA_DCHECKS_ENABLED
+    dcheck_consistent();
+#endif
 }
 
 std::vector<float>
@@ -285,17 +315,13 @@ PagedKvCache::swap_out()
 void
 PagedKvCache::swap_in(std::span<const float> data, std::size_t rows)
 {
-    if (length_ != 0 || !table_.empty()) {
-        throw std::logic_error(
-            "PagedKvCache: swap_in into a non-empty sequence");
-    }
+    ANDA_CHECK(length_ == 0 && table_.empty(),
+               "PagedKvCache: swap_in into a non-empty sequence");
     const std::size_t d = pool_->d_model();
-    if (pool_->with_storage()
-            ? data.size() != 2 * pool_->n_layers() * rows * d
-            : !data.empty()) {
-        throw std::invalid_argument(
-            "PagedKvCache: swap_in buffer size mismatch");
-    }
+    ANDA_CHECK(pool_->with_storage()
+                   ? data.size() == 2 * pool_->n_layers() * rows * d
+                   : data.empty(),
+               "PagedKvCache: swap_in buffer size mismatch");
     reserve(rows);
     if (pool_->with_storage()) {
         const float *src = data.data();
@@ -324,6 +350,26 @@ PagedKvCache::release_all()
     }
     table_.clear();
     length_ = 0;
+}
+
+void
+PagedKvCache::dcheck_consistent() const
+{
+    const std::size_t ps = pool_->page_size();
+    ANDA_CHECK_LE(length_, capacity(),
+                  "committed rows exceed mapped pages");
+    ANDA_CHECK_LE(length_, pool_->max_seq());
+    // reserve() allocates exactly the pages asked for, so the table
+    // never holds more than one page past the committed rows' worth
+    // plus whatever an outstanding reserve mapped; at minimum the
+    // committed rows must all be mapped.
+    ANDA_CHECK_GE(table_.size(), pages_for(length_, ps),
+                  "page table too small for committed rows");
+    const KvPageAllocator &alloc = pool_->allocator();
+    for (const PageId page : table_) {
+        ANDA_CHECK_GE(alloc.refcount(page), 1u,
+                      "page table maps a dead page");
+    }
 }
 
 }  // namespace anda

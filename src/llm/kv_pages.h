@@ -57,8 +57,8 @@ class KvPageAllocator {
         return refcount_.size() - free_.size();
     }
 
-    /// Pops a free page (refcount 1). Throws std::runtime_error when
-    /// the pool is exhausted — schedulers must check free_pages()
+    /// Pops a free page (refcount 1). Throws anda::ResourceError (a
+    /// std::runtime_error) when the pool is exhausted — schedulers must check free_pages()
     /// before committing to an allocation.
     PageId alloc();
 
@@ -66,10 +66,17 @@ class KvPageAllocator {
     void retain(PageId page);
 
     /// Drops a reference; the page is freed at zero. Releasing a dead
-    /// page throws std::logic_error (double-free guard).
+    /// page throws anda::CheckError (double-free guard).
     void release(PageId page);
 
     std::uint32_t refcount(PageId page) const;
+
+    /// O(pages) structural audit, run under ANDA_DCHECK after every
+    /// mutation (and directly by tests): used + free == population,
+    /// every free-listed page has refcount zero, no page is
+    /// free-listed twice, and live pages are exactly the non-free
+    /// ones. Throws anda::CheckError on violation.
+    void check_invariants() const;
 
   private:
     std::vector<std::uint32_t> refcount_;
@@ -156,8 +163,9 @@ class PagedKvCache final : public KvSeq {
 
     /// Allocates pages so `rows` rows fit, performing the
     /// copy-on-extend of a shared tail page when growing past a
-    /// shared boundary. Throws std::invalid_argument past max_seq
-    /// and std::runtime_error when the pool is exhausted (strong
+    /// shared boundary. Throws anda::CheckError (a
+    /// std::invalid_argument) past max_seq and anda::ResourceError (a
+    /// std::runtime_error) when the pool is exhausted (strong
     /// guarantee: the sequence is unchanged on throw).
     void reserve(std::size_t rows) override;
     void advance(std::size_t n) override;
@@ -211,6 +219,12 @@ class PagedKvCache final : public KvSeq {
     }
 
   private:
+    /// Per-sequence structural audit (ANDA_DCHECK'd after mutations):
+    /// committed rows fit the mapped pages, the table holds exactly
+    /// pages_for(max(length, reserved rows)) entries, and every mapped
+    /// page is live in the allocator.
+    void dcheck_consistent() const;
+
     KvPagePool *pool_ = nullptr;
     std::size_t length_ = 0;
     std::vector<PageId> table_;

@@ -1,8 +1,9 @@
 #include "llm/ops.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace anda {
 
@@ -10,7 +11,8 @@ void
 layer_norm(std::span<const float> x, std::span<const float> gain,
            std::span<float> out, float eps)
 {
-    assert(x.size() == gain.size() && x.size() == out.size());
+    ANDA_DCHECK(x.size() == gain.size() && x.size() == out.size(),
+                "norm spans must share one length");
     double sum = 0.0;
     for (float v : x) {
         sum += v;
@@ -31,7 +33,8 @@ void
 rms_norm(std::span<const float> x, std::span<const float> gain,
          std::span<float> out, float eps)
 {
-    assert(x.size() == gain.size() && x.size() == out.size());
+    ANDA_DCHECK(x.size() == gain.size() && x.size() == out.size(),
+                "norm spans must share one length");
     double sq = 0.0;
     for (float v : x) {
         sq += static_cast<double>(v) * v;
@@ -75,7 +78,8 @@ silu(float x)
 void
 rope_inplace(std::span<float> head, int pos)
 {
-    assert(head.size() % 2 == 0);
+    ANDA_DCHECK_EQ(head.size() % 2, 0u,
+                   "RoPE head dimension must be even");
     const std::size_t half = head.size() / 2;
     for (std::size_t i = 0; i < half; ++i) {
         const double freq =
@@ -96,9 +100,11 @@ causal_attention_head(const Matrix &q, const Matrix &k, const Matrix &v,
                       std::size_t kv_len, std::size_t q_offset,
                       Matrix &out)
 {
-    assert(q.cols() == k.cols() && k.cols() == v.cols());
-    assert(kv_len <= k.rows());
-    assert(out.rows() == q.rows() && out.cols() == v.cols());
+    ANDA_DCHECK(q.cols() == k.cols() && k.cols() == v.cols(),
+                "attention head dims must agree");
+    ANDA_DCHECK_LE(kv_len, k.rows());
+    ANDA_DCHECK(out.rows() == q.rows() && out.cols() == v.cols(),
+                "attention output shape mismatch");
     const float scale =
         1.0f / std::sqrt(static_cast<float>(q.cols()));
     std::vector<float> scores(kv_len);
@@ -127,8 +133,9 @@ causal_attention_head(const Matrix &q, const Matrix &k, const Matrix &v,
 double
 log_prob_of(std::span<const float> logits, int target)
 {
-    assert(target >= 0 &&
-           static_cast<std::size_t>(target) < logits.size());
+    ANDA_DCHECK(target >= 0 &&
+                    static_cast<std::size_t>(target) < logits.size(),
+                "target token outside the vocabulary");
     float mx = logits[0];
     for (float v : logits) {
         mx = std::max(mx, v);
@@ -145,8 +152,9 @@ int
 sample_from_logits(std::span<const float> logits, double temperature,
                    double u)
 {
-    assert(!logits.empty());
-    assert(temperature > 0.0);
+    ANDA_CHECK(!logits.empty(), "cannot sample from empty logits");
+    ANDA_CHECK_GT(temperature, 0.0,
+                  "sampling temperature must be positive");
     float mx = logits[0];
     for (float v : logits) {
         mx = std::max(mx, v);

@@ -1,10 +1,9 @@
 #include "llm/transformer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "common/fp16.h"
 #include "common/rng.h"
 #include "llm/ops.h"
@@ -90,9 +89,8 @@ Transformer::Transformer(const ModelConfig &cfg) : cfg_(cfg)
 {
     const ModelDims &d = cfg_.sim;
     const OutlierProfile &prof = cfg_.profile;
-    if (d.d_model % d.n_heads != 0) {
-        throw std::invalid_argument("d_model must divide by n_heads");
-    }
+    ANDA_CHECK_EQ(d.d_model % d.n_heads, 0,
+                  "d_model must divide by n_heads");
 
     SplitMix64 rng(derive_seed(cfg_.seed, 0));
 
@@ -221,15 +219,13 @@ Transformer::embed_into(std::span<const int> tokens,
     const ModelDims &d = cfg_.sim;
     for (std::size_t t = 0; t < tokens.size(); ++t) {
         const int tok = tokens[t];
-        if (tok < 0 || tok >= d.vocab) {
-            throw std::invalid_argument("token id out of range");
-        }
+        ANDA_CHECK(tok >= 0 && tok < d.vocab, "token id out of range");
         const auto erow = embedding_.row(static_cast<std::size_t>(tok));
         auto xrow = x.row(row0 + t);
         std::copy(erow.begin(), erow.end(), xrow.begin());
         if (!cfg_.is_llama()) {
             const std::size_t pos = pos_offset + t;
-            assert(pos < pos_embedding_.rows());
+            ANDA_DCHECK_LT(pos, pos_embedding_.rows());
             const auto prow = pos_embedding_.row(pos);
             for (std::size_t c = 0; c < xrow.size(); ++c) {
                 xrow[c] += prow[c];
@@ -253,15 +249,16 @@ Transformer::run_block(std::size_t layer, Matrix &x,
     const std::size_t heads = static_cast<std::size_t>(dims.n_heads);
     const std::size_t hd = d / heads;
     const bool llama = cfg_.is_llama();
-    assert(!seq_lens.empty());
-    assert(kv == nullptr || kv->size() == seq_lens.size());
-#ifndef NDEBUG
+    ANDA_DCHECK(!seq_lens.empty());
+    ANDA_DCHECK(kv == nullptr || kv->size() == seq_lens.size());
+#if ANDA_DCHECKS_ENABLED
     {
         std::size_t total = 0;
         for (std::size_t len : seq_lens) {
             total += len;
         }
-        assert(total == t_len);
+        ANDA_DCHECK_EQ(total, t_len,
+                       "packed rows do not match sequence lengths");
     }
 #endif
 
@@ -474,41 +471,33 @@ Transformer::forward_hidden(std::span<const int> tokens_flat,
                             const RunOptions &opts,
                             BatchKvCache *kv) const
 {
-    if (seq_lens.empty() || tokens_flat.empty()) {
-        throw std::invalid_argument("empty token sequence");
-    }
-    if (kv != nullptr && kv->size() != seq_lens.size()) {
-        throw std::invalid_argument(
-            "cache batch does not match sequence count");
-    }
+    ANDA_CHECK(!seq_lens.empty() && !tokens_flat.empty(),
+               "empty token sequence");
+    ANDA_CHECK(kv == nullptr || kv->size() == seq_lens.size(),
+               "cache batch does not match sequence count");
     std::size_t total = 0;
     for (std::size_t s = 0; s < seq_lens.size(); ++s) {
         const std::size_t len = seq_lens[s];
-        if (len == 0) {
-            throw std::invalid_argument("empty sequence in batch");
-        }
+        ANDA_CHECK_GT(len, 0u, "empty sequence in batch");
         if (kv != nullptr) {
             const KvSeq &c = kv->seq(s);
-            if (c.n_layers() != layers_.size() ||
-                c.d_model() !=
-                    static_cast<std::size_t>(cfg_.sim.d_model) ||
-                c.max_seq() !=
-                    static_cast<std::size_t>(cfg_.sim.max_seq)) {
-                throw std::invalid_argument(
-                    "cache shape does not match the model");
-            }
+            ANDA_CHECK(
+                c.n_layers() == layers_.size() &&
+                    c.d_model() ==
+                        static_cast<std::size_t>(cfg_.sim.d_model) &&
+                    c.max_seq() ==
+                        static_cast<std::size_t>(cfg_.sim.max_seq),
+                "cache shape does not match the model");
         }
         const std::size_t base =
             kv != nullptr ? kv->seq(s).length() : 0;
-        if (base + len > static_cast<std::size_t>(cfg_.sim.max_seq)) {
-            throw std::invalid_argument("sequence exceeds max_seq");
-        }
+        ANDA_CHECK_LE(base + len,
+                      static_cast<std::size_t>(cfg_.sim.max_seq),
+                      "sequence exceeds max_seq");
         total += len;
     }
-    if (total != tokens_flat.size()) {
-        throw std::invalid_argument(
-            "packed token buffer does not match sequence lengths");
-    }
+    ANDA_CHECK_EQ(total, tokens_flat.size(),
+                  "packed token buffer does not match sequence lengths");
     if (kv != nullptr) {
         // One growth per step (geometric for slabs, exact pages for
         // paged caches), after all validation (a throwing call must
@@ -568,10 +557,8 @@ Transformer::decode_step(BatchKvCache &caches,
                          std::span<const int> tokens,
                          const RunOptions &opts) const
 {
-    if (caches.empty() || caches.size() != tokens.size()) {
-        throw std::invalid_argument(
-            "decode step needs one token per cached sequence");
-    }
+    ANDA_CHECK(!caches.empty() && caches.size() == tokens.size(),
+               "decode step needs one token per cached sequence");
     const std::vector<std::size_t> lens(tokens.size(), 1);
     const Matrix x = forward_hidden(tokens, lens, opts, &caches);
     Matrix logits(tokens.size(),
@@ -609,9 +596,7 @@ struct PackedBatch {
 PackedBatch
 pack_sequences(std::span<const std::vector<int>> seqs)
 {
-    if (seqs.empty()) {
-        throw std::invalid_argument("empty sequence batch");
-    }
+    ANDA_CHECK(!seqs.empty(), "empty sequence batch");
     PackedBatch packed;
     packed.lens.reserve(seqs.size());
     std::size_t total = 0;
@@ -647,10 +632,7 @@ Transformer::nll_stacked(std::span<const int> tokens_flat,
                          const RunOptions &opts) const
 {
     for (const std::size_t len : seq_lens) {
-        if (len < 2) {
-            throw std::invalid_argument(
-                "need at least two tokens for NLL");
-        }
+        ANDA_CHECK_GE(len, 2u, "need at least two tokens for NLL");
     }
     const Matrix x = forward_hidden(tokens_flat, seq_lens, opts);
     // Stream the logit head one row at a time: peak memory stays at one
@@ -689,9 +671,8 @@ std::vector<int>
 Transformer::sample_sequence(int length, double temperature,
                              std::uint64_t seed) const
 {
-    if (length < 1 || length > cfg_.sim.max_seq) {
-        throw std::invalid_argument("bad sample length");
-    }
+    ANDA_CHECK(length >= 1 && length <= cfg_.sim.max_seq,
+               "bad sample length");
     // The teacher runs the deployment-FP16 configuration with
     // full-precision weights (the Table II "FP16" row).
     RunOptions opts;

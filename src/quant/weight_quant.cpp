@@ -1,9 +1,9 @@
 #include "quant/weight_quant.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 #include "common/fp16.h"
 
@@ -34,12 +34,9 @@ quantize_group(std::span<const float> w, float scale, int qmax,
 QuantizedWeight
 QuantizedWeight::quantize(const Matrix &w, const WeightQuantParams &params)
 {
-    if (params.group_size < 1) {
-        throw std::invalid_argument("group_size must be >= 1");
-    }
-    if (params.bits < 2 || params.bits > 8) {
-        throw std::invalid_argument("weight bits must be in [2, 8]");
-    }
+    ANDA_CHECK_GE(params.group_size, 1, "group_size must be >= 1");
+    ANDA_CHECK(params.bits >= 2 && params.bits <= 8,
+               "weight bits must be in [2, 8]");
     QuantizedWeight out;
     out.params_ = params;
     out.rows_ = w.rows();
@@ -125,7 +122,8 @@ pack_int4(std::span<const std::int8_t> values)
 {
     std::vector<std::uint8_t> bytes((values.size() + 1) / 2, 0);
     for (std::size_t i = 0; i < values.size(); ++i) {
-        assert(values[i] >= -8 && values[i] <= 7);
+        ANDA_DCHECK(values[i] >= -8 && values[i] <= 7,
+                    "int4 pack value out of range");
         const std::uint8_t nibble =
             static_cast<std::uint8_t>(values[i]) & 0x0f;
         if (i % 2 == 0) {

@@ -99,11 +99,18 @@ SearchHarness::SearchHarness(const ModelConfig &cfg,
 const Transformer &
 SearchHarness::model() const
 {
-    std::call_once(model_once_, [this] {
+    // Plain mutex + retry rather than std::call_once: construction can
+    // throw (bad configs propagate to every job of this harness), and
+    // an exceptional call_once is a portability trap — under
+    // ThreadSanitizer the intercepted once-flag is never reset on the
+    // exceptional path, deadlocking every subsequent caller. This is
+    // cold (once per harness), so the lock costs nothing.
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    if (!model_) {
         model_ = registry_ != nullptr
                      ? registry_->get(cfg_)
                      : std::make_shared<const Transformer>(cfg_);
-    });
+    }
     return *model_;
 }
 

@@ -130,7 +130,10 @@ class SearchHarness {
     DatasetSpec dataset_;
     ResultCache *cache_;
     ModelRegistry *registry_;
-    mutable std::once_flag model_once_;
+    // Guards lazy model construction. Not std::call_once: construction
+    // may throw, and exceptional call_once deadlocks under TSan (see
+    // model() in harness.cpp).
+    mutable std::mutex model_mutex_;
     mutable std::shared_ptr<const Transformer> model_;
     std::mutex corpus_mutex_;
     std::unique_ptr<Corpus> calibration_;

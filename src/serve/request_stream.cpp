@@ -1,8 +1,8 @@
 #include "serve/request_stream.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace anda {
@@ -10,15 +10,11 @@ namespace anda {
 std::vector<Request>
 generate_requests(const RequestStreamSpec &spec)
 {
-    if (spec.n_requests < 0) {
-        throw std::invalid_argument("negative request count");
-    }
-    if (spec.prompt_min < 1 || spec.prompt_max < spec.prompt_min) {
-        throw std::invalid_argument("bad prompt length bounds");
-    }
-    if (spec.output_min < 1 || spec.output_max < spec.output_min) {
-        throw std::invalid_argument("bad output length bounds");
-    }
+    ANDA_CHECK_GE(spec.n_requests, 0, "negative request count");
+    ANDA_CHECK(spec.prompt_min >= 1 && spec.prompt_max >= spec.prompt_min,
+               "bad prompt length bounds");
+    ANDA_CHECK(spec.output_min >= 1 && spec.output_max >= spec.output_min,
+               "bad output length bounds");
 
     // Independent deterministic streams so changing one knob (say the
     // arrival rate) never perturbs the sampled lengths.

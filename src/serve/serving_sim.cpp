@@ -1,14 +1,13 @@
 #include "serve/serving_sim.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
 #include <iomanip>
 #include <memory>
 #include <sstream>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "llm/kv_pages.h"
 #include "llm/ops.h"
@@ -216,9 +215,8 @@ std::vector<int>
 exec_prompt_tokens(int vocab, int prompt_len, std::uint64_t seed,
                    int id, int shared_prefix_len)
 {
-    if (vocab < 1 || prompt_len < 1 || shared_prefix_len < 0) {
-        throw std::invalid_argument("bad prompt spec");
-    }
+    ANDA_CHECK(vocab >= 1 && prompt_len >= 1 && shared_prefix_len >= 0,
+               "bad prompt spec");
     std::vector<int> prompt(static_cast<std::size_t>(prompt_len));
     prompt[0] = 0;  // BOS, matching the teacher's convention.
     // The shared system-prompt head comes from a stream derived from
@@ -258,9 +256,7 @@ build_step_workload(const ModelConfig &model, std::size_t prefill_tokens,
 {
     const std::uint64_t total =
         static_cast<std::uint64_t>(prefill_tokens) + decode_tokens;
-    if (total == 0) {
-        throw std::invalid_argument("empty serving step");
-    }
+    ANDA_CHECK_GT(total, 0u, "empty serving step");
     // Continuous batching fuses every scheduled row into one ragged
     // GeMM per tap per layer (weights stream once for the whole step);
     // the shapes depend only on the total row count.
@@ -275,18 +271,14 @@ simulate_serving(const ModelConfig &model,
                  std::span<const Request> requests,
                  const ServingOptions &opts)
 {
-    if (requests.empty()) {
-        throw std::invalid_argument("empty request stream");
-    }
-    if (opts.max_batch == 0 || opts.max_step_tokens == 0) {
-        throw std::invalid_argument("zero serving batch or budget");
-    }
+    ANDA_CHECK(!requests.empty(), "empty request stream");
+    ANDA_CHECK(opts.max_batch > 0 && opts.max_step_tokens > 0,
+               "zero serving batch or budget");
     const bool exec = opts.executor != nullptr;
     const bool paged = opts.cache_policy == CachePolicy::kPaged;
     const std::size_t ps = opts.page_size;
-    if (paged && (ps == 0 || opts.page_budget == 0)) {
-        throw std::invalid_argument("paged serving needs a page budget");
-    }
+    ANDA_CHECK(!paged || (ps > 0 && opts.page_budget > 0),
+               "paged serving needs a page budget");
     const std::size_t shared_len =
         opts.shared_prefix_len > 0
             ? static_cast<std::size_t>(opts.shared_prefix_len)
@@ -294,34 +286,28 @@ simulate_serving(const ModelConfig &model,
     std::size_t max_rows = 1;   // Largest single-request footprint.
     std::size_t max_prompt = 0;
     for (const Request &r : requests) {
-        if (r.prompt_len < 1 || r.output_len < 1) {
-            throw std::invalid_argument("bad request lengths");
-        }
+        ANDA_CHECK(r.prompt_len >= 1 && r.output_len >= 1,
+                   "bad request lengths");
         max_rows = std::max(
             max_rows, static_cast<std::size_t>(r.prompt_len) +
                           static_cast<std::size_t>(r.output_len) - 1);
         max_prompt =
             std::max(max_prompt, static_cast<std::size_t>(r.prompt_len));
-        if (!paged && opts.max_cache_tokens > 0 &&
-            static_cast<std::size_t>(r.prompt_len) >
-                opts.max_cache_tokens) {
-            throw std::invalid_argument(
-                "prompt cannot pass the cache admission gate");
-        }
-        if (opts.cache_policy == CachePolicy::kSlabReserve &&
-            opts.max_cache_tokens > 0 &&
-            static_cast<std::size_t>(r.prompt_len) + r.output_len - 1 >
-                opts.max_cache_tokens) {
-            throw std::invalid_argument(
-                "request footprint cannot pass the reserve gate");
-        }
+        ANDA_CHECK(paged || opts.max_cache_tokens == 0 ||
+                       static_cast<std::size_t>(r.prompt_len) <=
+                           opts.max_cache_tokens,
+                   "prompt cannot pass the cache admission gate");
+        ANDA_CHECK(opts.cache_policy != CachePolicy::kSlabReserve ||
+                       opts.max_cache_tokens == 0 ||
+                       static_cast<std::size_t>(r.prompt_len) +
+                               r.output_len - 1 <=
+                           opts.max_cache_tokens,
+                   "request footprint cannot pass the reserve gate");
         // A request caches prompt_len + output_len - 1 rows (every
         // decode input appends one); it must fit the executor.
-        if (exec && r.prompt_len + r.output_len - 1 >
-                        opts.executor->dims().max_seq) {
-            throw std::invalid_argument(
-                "request exceeds the executor's max_seq");
-        }
+        ANDA_CHECK(!exec || r.prompt_len + r.output_len - 1 <=
+                                opts.executor->dims().max_seq,
+                   "request exceeds the executor's max_seq");
     }
     if (paged) {
         // Every request must be schedulable alone: its own worst-case
@@ -333,11 +319,9 @@ simulate_serving(const ModelConfig &model,
             const std::size_t rows =
                 static_cast<std::size_t>(r.prompt_len) +
                 static_cast<std::size_t>(r.output_len) - 1;
-            if (PagedKvCache::pages_for(rows, ps) + anchor_bound + 1 >
-                opts.page_budget) {
-                throw std::invalid_argument(
-                    "request cannot fit the page budget");
-            }
+            ANDA_CHECK_LE(
+                PagedKvCache::pages_for(rows, ps) + anchor_bound + 1,
+                opts.page_budget, "request cannot fit the page budget");
         }
     }
 
@@ -482,10 +466,8 @@ simulate_serving(const ModelConfig &model,
             ++report.readmits;
             preempted_q.pop_front();
         }
-        if (running.empty() && !preempted_q.empty()) {
-            throw std::logic_error(
-                "preempted request cannot readmit into an idle pool");
-        }
+        ANDA_CHECK(!running.empty() || preempted_q.empty(),
+                   "preempted request cannot readmit into an idle pool");
         // Continuous batching: admit every arrived request that fits.
         // Readmissions drain first — new admissions wait behind them.
         while (next < queue.size() && running.size() < opts.max_batch &&
@@ -623,11 +605,9 @@ simulate_serving(const ModelConfig &model,
             if (decode_fits && decode_tokens + prefill_tokens > 0) {
                 break;
             }
-            if (!paged || running.size() <= 1) {
-                throw std::logic_error(
-                    "scheduler cannot make progress within the page "
-                    "budget");
-            }
+            ANDA_CHECK(paged && running.size() > 1,
+                       "scheduler cannot make progress within the page "
+                       "budget");
             preempt_back(step_preempts);
         }
 
@@ -809,8 +789,9 @@ simulate_serving(const ModelConfig &model,
             pending_prefill += r.remaining_prefill;
             // The counter-tracked occupancy is exactly the cache
             // length — scheduler state matches the substrate.
-            assert((!exec && !paged) ||
-                   cache_of(r.idx).length() == r.resident);
+            ANDA_DCHECK((!exec && !paged) ||
+                            cache_of(r.idx).length() == r.resident,
+                        "scheduler occupancy diverged from the cache");
         }
         report.steps.back().cache_tokens = resident;
         report.peak_cache_tokens =

@@ -1,0 +1,196 @@
+// Tests of the ANDA_CHECK contract layer (src/common/check.h): the
+// exception taxonomy, the documented message format, the DCHECK
+// build-type gating, and the error paths the ISSUE names explicitly —
+// KvPageAllocator exhaustion and gemm_anda shape mismatch must
+// produce the documented exception type and message prefix.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "kernels/gemm.h"
+#include "llm/kv_pages.h"
+#include "quant/weight_quant.h"
+
+namespace anda {
+namespace {
+
+/// e.what() of whatever `fn` throws (fails the test if it doesn't).
+template <typename Fn>
+std::string
+thrown_message(Fn fn)
+{
+    try {
+        fn();
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected an exception";
+    return {};
+}
+
+TEST(Check, PassingChecksAreSilent)
+{
+    EXPECT_NO_THROW(ANDA_CHECK(1 + 1 == 2));
+    EXPECT_NO_THROW(ANDA_CHECK(true, "never printed"));
+    EXPECT_NO_THROW(ANDA_CHECK_RT(true));
+    EXPECT_NO_THROW(ANDA_CHECK_EQ(4, 4));
+    EXPECT_NO_THROW(ANDA_CHECK_NE(4, 5));
+    EXPECT_NO_THROW(ANDA_CHECK_LT(4, 5));
+    EXPECT_NO_THROW(ANDA_CHECK_LE(5, 5));
+    EXPECT_NO_THROW(ANDA_CHECK_GT(5, 4));
+    EXPECT_NO_THROW(ANDA_CHECK_GE(5, 5));
+}
+
+TEST(Check, CheckErrorIsInvalidArgumentAndLogicError)
+{
+    // Legacy EXPECT_THROW sites keyed on either standard type keep
+    // matching after the migration.
+    EXPECT_THROW(ANDA_CHECK(false), CheckError);
+    EXPECT_THROW(ANDA_CHECK(false), std::invalid_argument);
+    EXPECT_THROW(ANDA_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ResourceErrorIsRuntimeError)
+{
+    EXPECT_THROW(ANDA_CHECK_RT(false), ResourceError);
+    EXPECT_THROW(ANDA_CHECK_RT(false), std::runtime_error);
+}
+
+TEST(Check, MessageCarriesMacroExprLocationAndText)
+{
+    const std::string msg = thrown_message(
+        [] { ANDA_CHECK(2 < 1, "custom message ", 42); });
+    EXPECT_EQ(msg.find("ANDA_CHECK failed: "), 0u) << msg;
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test_check.cpp:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("custom message 42"), std::string::npos) << msg;
+}
+
+TEST(Check, ComparisonMacrosPrintBothValues)
+{
+    const int lhs = 3;
+    const int rhs = 5;
+    const std::string msg =
+        thrown_message([&] { ANDA_CHECK_EQ(lhs, rhs, "shape"); });
+    EXPECT_EQ(msg.find("ANDA_CHECK_EQ failed: "), 0u) << msg;
+    EXPECT_NE(msg.find("lhs == rhs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(3 vs 5)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("shape"), std::string::npos) << msg;
+
+    EXPECT_THROW(ANDA_CHECK_GE(1, 2), CheckError);
+    EXPECT_THROW(ANDA_CHECK_LT(2, 2), CheckError);
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce)
+{
+    int evals = 0;
+    const auto bump = [&evals] { return ++evals; };
+    ANDA_CHECK_GE(bump(), 1);
+    EXPECT_EQ(evals, 1);
+    EXPECT_THROW(ANDA_CHECK_LT(bump(), 0), CheckError);
+    EXPECT_EQ(evals, 2);
+}
+
+TEST(Check, FailThrowsWithMessage)
+{
+    const std::string msg =
+        thrown_message([] { ANDA_FAIL("unknown knob: ", "turbo"); });
+    EXPECT_EQ(msg.find("ANDA_FAIL at "), 0u) << msg;
+    EXPECT_NE(msg.find("unknown knob: turbo"), std::string::npos) << msg;
+    EXPECT_THROW(ANDA_FAIL("x"), std::invalid_argument);
+}
+
+TEST(Check, DcheckMatchesBuildType)
+{
+#if ANDA_DCHECKS_ENABLED
+    EXPECT_THROW(ANDA_DCHECK(false), CheckError);
+    EXPECT_THROW(ANDA_DCHECK_EQ(1, 2), CheckError);
+#else
+    EXPECT_NO_THROW(ANDA_DCHECK(false));
+    EXPECT_NO_THROW(ANDA_DCHECK_EQ(1, 2));
+#endif
+    EXPECT_NO_THROW(ANDA_DCHECK(true));
+}
+
+// --- Documented error paths through real subsystems ------------------
+
+TEST(Check, KvPageAllocatorExhaustionIsResourceError)
+{
+    KvPageAllocator alloc(2);
+    (void)alloc.alloc();
+    (void)alloc.alloc();
+    EXPECT_THROW((void)alloc.alloc(), ResourceError);
+    const std::string msg = thrown_message([&] { (void)alloc.alloc(); });
+    EXPECT_EQ(msg.find("ANDA_CHECK_RT failed: "), 0u) << msg;
+    EXPECT_NE(msg.find("KvPageAllocator: out of pages"),
+              std::string::npos)
+        << msg;
+    // Failed allocations change nothing (strong guarantee).
+    EXPECT_EQ(alloc.free_pages(), 0u);
+    EXPECT_EQ(alloc.used_pages(), 2u);
+    EXPECT_NO_THROW(alloc.check_invariants());
+}
+
+TEST(Check, PagedKvCacheExhaustionIsResourceError)
+{
+    KvPagePool pool(1, 4, 64, 4, 2, /*with_storage=*/false);
+    PagedKvCache seq(pool);
+    seq.reserve(8);  // Both pages.
+    const std::string msg = thrown_message([&] { seq.reserve(9); });
+    EXPECT_EQ(msg.find("ANDA_CHECK_RT failed: "), 0u) << msg;
+    EXPECT_NE(msg.find("PagedKvCache: page pool exhausted"),
+              std::string::npos)
+        << msg;
+    EXPECT_THROW(seq.reserve(9), std::runtime_error);
+    EXPECT_EQ(seq.pages_held(), 2u);  // Unchanged on throw.
+}
+
+TEST(Check, KvPageAllocatorDoubleFreeIsCheckError)
+{
+    KvPageAllocator alloc(1);
+    const PageId page = alloc.alloc();
+    alloc.release(page);
+    EXPECT_THROW(alloc.release(page), CheckError);
+    EXPECT_THROW(alloc.release(page), std::logic_error);
+    EXPECT_THROW(alloc.retain(page), CheckError);
+}
+
+TEST(Check, GemmShapeMismatchIsCheckErrorWithKernelName)
+{
+    const Matrix a(2, 8);
+    Matrix w(3, 16);  // 16 != 8 columns.
+    WeightQuantParams params;
+    params.group_size = 64;
+    params.bits = 4;
+    const QuantizedWeight q = QuantizedWeight::quantize(w, params);
+    EXPECT_THROW((void)gemm_anda(a, q, {}), CheckError);
+    EXPECT_THROW((void)gemm_anda(a, q, {}), std::invalid_argument);
+    const std::string msg =
+        thrown_message([&] { (void)gemm_anda(a, q, {}); });
+    EXPECT_EQ(msg.find("ANDA_CHECK_EQ failed: "), 0u) << msg;
+    EXPECT_NE(msg.find("gemm_anda"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(8 vs 16)"), std::string::npos) << msg;
+}
+
+TEST(Check, AllocatorInvariantAuditPassesThroughChurn)
+{
+    KvPageAllocator alloc(8);
+    std::vector<PageId> held;
+    for (int i = 0; i < 5; ++i) {
+        held.push_back(alloc.alloc());
+    }
+    alloc.retain(held[0]);
+    alloc.retain(held[0]);
+    alloc.release(held[1]);
+    alloc.release(held[0]);
+    EXPECT_NO_THROW(alloc.check_invariants());
+    EXPECT_EQ(alloc.used_pages() + alloc.free_pages(),
+              alloc.total_pages());
+}
+
+}  // namespace
+}  // namespace anda
