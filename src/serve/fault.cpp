@@ -1,0 +1,77 @@
+#include "serve/fault.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace anda {
+
+namespace {
+
+/// Stream labels keeping the two fault surfaces on disjoint SplitMix64
+/// lineages (and both far from the request-stream / sampler labels).
+constexpr std::uint64_t kStepStream = 0xfa170a11u;
+constexpr std::uint64_t kSwapStream = 0xfa175a9bu;
+
+/// One uniform draw from the (seed, site, attempt) leaf stream.
+double
+leaf_uniform(std::uint64_t seed, std::uint64_t stream,
+             std::uint64_t site, std::uint64_t attempt)
+{
+    SplitMix64 rng(
+        derive_seed(derive_seed(derive_seed(seed, stream), site),
+                    attempt));
+    return rng.uniform();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSpec &spec) : spec_(spec)
+{
+    ANDA_CHECK(spec.step_fail_prob >= 0.0 && spec.step_fail_prob <= 1.0,
+               "step_fail_prob outside [0, 1]");
+    ANDA_CHECK(spec.swap_fail_prob >= 0.0 && spec.swap_fail_prob <= 1.0,
+               "swap_fail_prob outside [0, 1]");
+}
+
+bool
+FaultInjector::step_attempt_fails(std::uint64_t step,
+                                  std::size_t attempt) const
+{
+    if (spec_.step_fail_prob <= 0.0) {
+        return false;
+    }
+    return leaf_uniform(spec_.seed, kStepStream, step, attempt) <
+           spec_.step_fail_prob;
+}
+
+bool
+FaultInjector::swap_in_fails(int request_id, std::size_t attempt) const
+{
+    if (spec_.swap_fail_prob <= 0.0) {
+        return false;
+    }
+    return leaf_uniform(
+               spec_.seed, kSwapStream,
+               static_cast<std::uint64_t>(
+                   static_cast<unsigned>(request_id)),
+               attempt) < spec_.swap_fail_prob;
+}
+
+std::size_t
+FaultInjector::backoff_steps(std::size_t attempt) const
+{
+    if (spec_.backoff_base_steps == 0) {
+        return 0;
+    }
+    // Saturate the shift well before 64 bits; the cap clamps anyway.
+    const std::size_t shift = attempt < 32 ? attempt : 32;
+    const std::size_t raw = spec_.backoff_base_steps << shift;
+    const std::size_t grown =
+        raw >> shift == spec_.backoff_base_steps
+            ? raw
+            : spec_.backoff_cap_steps;
+    return grown < spec_.backoff_cap_steps ? grown
+                                           : spec_.backoff_cap_steps;
+}
+
+}  // namespace anda

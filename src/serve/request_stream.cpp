@@ -15,11 +15,21 @@ generate_requests(const RequestStreamSpec &spec)
                "bad prompt length bounds");
     ANDA_CHECK(spec.output_min >= 1 && spec.output_max >= spec.output_min,
                "bad output length bounds");
+    double total_weight = 0.0;
+    for (const PriorityClassSpec &c : spec.classes) {
+        ANDA_CHECK(c.weight > 0.0, "non-positive class weight");
+        ANDA_CHECK(c.ttft_slo_s >= 0.0 && c.deadline_s >= 0.0,
+                   "negative class SLO");
+        total_weight += c.weight;
+    }
 
     // Independent deterministic streams so changing one knob (say the
-    // arrival rate) never perturbs the sampled lengths.
+    // arrival rate) never perturbs the sampled lengths. The class
+    // stream only exists when classes do, so single-class traces are
+    // bit-identical to pre-class seeds.
     SplitMix64 arrivals(derive_seed(spec.seed, 0x5e21));
     SplitMix64 lengths(derive_seed(spec.seed, 0x1e57));
+    SplitMix64 classes(derive_seed(spec.seed, 0xc1a5));
 
     std::vector<Request> requests(
         static_cast<std::size_t>(spec.n_requests));
@@ -43,6 +53,23 @@ generate_requests(const RequestStreamSpec &spec)
             static_cast<int>(lengths.uniform_index(
                 static_cast<std::uint64_t>(spec.output_max -
                                            spec.output_min + 1)));
+        if (!spec.classes.empty()) {
+            // Weighted class draw by cumulative weight; the final
+            // class absorbs any floating-point shortfall.
+            const double u = classes.uniform() * total_weight;
+            double cum = 0.0;
+            const PriorityClassSpec *pick = &spec.classes.back();
+            for (const PriorityClassSpec &c : spec.classes) {
+                cum += c.weight;
+                if (u < cum) {
+                    pick = &c;
+                    break;
+                }
+            }
+            r.priority = pick->priority;
+            r.ttft_slo_s = pick->ttft_slo_s;
+            r.deadline_s = pick->deadline_s;
+        }
     }
     return requests;
 }

@@ -15,6 +15,22 @@
 
 namespace anda {
 
+/// One priority class of a mixed stream: a relative traffic share
+/// plus the latency targets its requests carry. Higher `priority`
+/// outranks lower at admission and survives eviction longer under the
+/// priority-aware policies; the SLOs are targets relative to arrival
+/// (0 = the class has none) that the scheduler reports attainment
+/// against and, per DeadlinePolicy, enforces.
+struct PriorityClassSpec {
+    int priority = 0;
+    /// Relative frequency of the class (> 0; normalized internally).
+    double weight = 1.0;
+    /// Time-to-first-token SLO [s] relative to arrival (0 = none).
+    double ttft_slo_s = 0.0;
+    /// Completion deadline [s] relative to arrival (0 = none).
+    double deadline_s = 0.0;
+};
+
 /// Recipe of one synthetic request stream.
 struct RequestStreamSpec {
     std::uint64_t seed = 0;
@@ -29,6 +45,12 @@ struct RequestStreamSpec {
     /// Output (generated) length bounds [tokens], inclusive uniform.
     int output_min = 8;
     int output_max = 64;
+    /// Priority-class mix. Empty = every request is class 0 with no
+    /// SLOs (the legacy single-class stream, consuming no extra
+    /// random draws — traces stay bit-identical to pre-class seeds).
+    /// Classes draw from their own SplitMix64 stream, so adding or
+    /// reweighting classes never perturbs arrivals or lengths.
+    std::vector<PriorityClassSpec> classes;
 };
 
 /// One inference request of the stream.
@@ -37,6 +59,12 @@ struct Request {
     double arrival_s = 0.0;
     int prompt_len = 0;
     int output_len = 0;
+    /// Priority class (higher = more important; scheduler default 0).
+    int priority = 0;
+    /// TTFT SLO [s] relative to arrival_s (0 = none).
+    double ttft_slo_s = 0.0;
+    /// Completion deadline [s] relative to arrival_s (0 = none).
+    double deadline_s = 0.0;
 };
 
 /// Materializes the stream: n_requests requests ordered by arrival

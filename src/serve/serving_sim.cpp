@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -35,6 +34,14 @@ struct Preempted {
     std::size_t remaining_output = 0;
     bool swapped = false;
     std::vector<float> swap;
+};
+
+/// One planned scheduler step: the row counts the priced workload
+/// carries and the per-running-request prefill chunks.
+struct StepPlan {
+    std::size_t decode_tokens = 0;
+    std::size_t prefill_tokens = 0;
+    std::vector<std::size_t> chunk;
 };
 
 /// Execution-mode state of one admitted request: its synthetic prompt
@@ -102,14 +109,15 @@ ServingReport::output_tokens_per_s() const
 double
 ServingReport::mean_ttft_s() const
 {
-    if (requests.empty()) {
-        return 0.0;
-    }
     double sum = 0.0;
+    std::size_t n = 0;
     for (const auto &r : requests) {
-        sum += r.ttft_s();
+        if (r.completed()) {
+            sum += r.ttft_s();
+            ++n;
+        }
     }
-    return sum / static_cast<double>(requests.size());
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
 double
@@ -118,7 +126,9 @@ ServingReport::p95_ttft_s() const
     std::vector<double> ttft;
     ttft.reserve(requests.size());
     for (const auto &r : requests) {
-        ttft.push_back(r.ttft_s());
+        if (r.completed()) {
+            ttft.push_back(r.ttft_s());
+        }
     }
     return percentile(std::move(ttft), 0.95);
 }
@@ -129,12 +139,84 @@ ServingReport::mean_decode_s_per_token() const
     double sum = 0.0;
     std::size_t n = 0;
     for (const auto &r : requests) {
-        if (r.output_len > 1) {
+        if (r.completed() && r.output_len > 1) {
             sum += r.decode_s_per_token();
             ++n;
         }
     }
     return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<ClassReport>
+ServingReport::by_class() const
+{
+    std::vector<ClassReport> classes;
+    const auto class_of = [&](int priority) -> ClassReport & {
+        for (ClassReport &c : classes) {
+            if (c.priority == priority) {
+                return c;
+            }
+        }
+        classes.push_back({});
+        classes.back().priority = priority;
+        return classes.back();
+    };
+    for (const auto &r : requests) {
+        ClassReport &c = class_of(r.priority);
+        ++c.n;
+        c.preemptions += r.preempt_count;
+        c.fault_retries += r.fault_retries;
+        switch (r.outcome) {
+        case RequestOutcome::kCompleted:
+            ++c.completed;
+            break;
+        case RequestOutcome::kDroppedDeadline:
+            ++c.dropped;
+            break;
+        case RequestOutcome::kShed:
+            ++c.shed;
+            break;
+        case RequestOutcome::kFailed:
+            ++c.failed;
+            break;
+        }
+        if (r.ttft_slo_s > 0.0) {
+            ++c.ttft_slo_n;
+            if (r.completed() && r.ttft_s() <= r.ttft_slo_s) {
+                ++c.ttft_slo_met;
+            }
+        }
+        if (r.deadline_s > 0.0) {
+            ++c.deadline_n;
+            if (r.completed() && r.latency_s() <= r.deadline_s) {
+                ++c.deadline_met;
+            }
+        }
+    }
+    std::sort(classes.begin(), classes.end(),
+              [](const ClassReport &a, const ClassReport &b) {
+                  return a.priority < b.priority;
+              });
+    for (ClassReport &c : classes) {
+        std::vector<double> ttft;
+        std::vector<double> latency;
+        double ttft_sum = 0.0;
+        for (const auto &r : requests) {
+            if (r.priority != c.priority || !r.completed()) {
+                continue;
+            }
+            ttft.push_back(r.ttft_s());
+            ttft_sum += r.ttft_s();
+            latency.push_back(r.latency_s());
+        }
+        if (!ttft.empty()) {
+            c.ttft_mean_s = ttft_sum / static_cast<double>(ttft.size());
+            c.ttft_p95_s = percentile(ttft, 0.95);
+            c.latency_p50_s = percentile(latency, 0.50);
+            c.latency_p95_s = percentile(std::move(latency), 0.95);
+        }
+    }
+    return classes;
 }
 
 double
@@ -202,6 +284,16 @@ ServingReport::summary() const
             << std::setprecision(1) << mean_fragmentation() * 100.0
             << "%, reuse " << reused_prefix_tokens << " tok, recompute "
             << recomputed_tokens << " tok" << std::setprecision(3);
+    }
+    if (dropped + shed + failed + step_faults + swap_faults > 0) {
+        out << "; robust " << completed << " ok / " << dropped
+            << " drop / " << shed << " shed / " << failed
+            << " fail, faults " << step_faults << " step + "
+            << swap_faults << " swap";
+    }
+    if (swap_bytes > 0) {
+        out << "; swapped " << swap_bytes << " B in "
+            << swap_stall_s * 1e3 << " ms";
     }
     if (executed) {
         out << "; executed checksum " << std::hex
@@ -274,6 +366,10 @@ simulate_serving(const ModelConfig &model,
     ANDA_CHECK(!requests.empty(), "empty request stream");
     ANDA_CHECK(opts.max_batch > 0 && opts.max_step_tokens > 0,
                "zero serving batch or budget");
+    ANDA_CHECK(opts.swap_gbps >= 0.0, "negative swap bandwidth");
+    ANDA_CHECK(opts.shed_timeout_s >= 0.0, "negative shed timeout");
+    const FaultInjector injector(opts.faults);  // Validates the spec.
+    const bool faults_on = opts.faults.enabled();
     const bool exec = opts.executor != nullptr;
     const bool paged = opts.cache_policy == CachePolicy::kPaged;
     const std::size_t ps = opts.page_size;
@@ -288,6 +384,8 @@ simulate_serving(const ModelConfig &model,
     for (const Request &r : requests) {
         ANDA_CHECK(r.prompt_len >= 1 && r.output_len >= 1,
                    "bad request lengths");
+        ANDA_CHECK(r.ttft_slo_s >= 0.0 && r.deadline_s >= 0.0,
+                   "negative request SLO");
         max_rows = std::max(
             max_rows, static_cast<std::size_t>(r.prompt_len) +
                           static_cast<std::size_t>(r.output_len) - 1);
@@ -353,11 +451,29 @@ simulate_serving(const ModelConfig &model,
         m.arrival_s = queue[i]->arrival_s;
         m.prompt_len = queue[i]->prompt_len;
         m.output_len = queue[i]->output_len;
+        m.priority = queue[i]->priority;
+        m.ttft_slo_s = queue[i]->ttft_slo_s;
+        m.deadline_s = queue[i]->deadline_s;
         report.total_prompt_tokens +=
             static_cast<std::size_t>(m.prompt_len);
         report.total_output_tokens +=
             static_cast<std::size_t>(m.output_len);
     }
+
+    // Cheapest possible step (one decode token): the provable
+    // per-emitted-token lower bound kDropUnmeetable tests against.
+    double min_step_s = 0.0;
+    if (opts.deadline_policy == DeadlinePolicy::kDropUnmeetable) {
+        min_step_s =
+            run_workload(system, tech,
+                         build_step_workload(model, 0, 1, opts.tuple))
+                .seconds(tech);
+    }
+    // Priced bytes of one swapped KV row: K and V, FP32, real dims
+    // (the same dims the GeMM taps are priced at).
+    const double row_bytes =
+        8.0 * static_cast<double>(model.real.n_layers) *
+        static_cast<double>(model.real.d_model);
 
     report.executed = exec;
     std::vector<std::unique_ptr<ExecRequest>> exec_state(queue.size());
@@ -397,18 +513,153 @@ simulate_serving(const ModelConfig &model,
 
     std::vector<Running> running;
     running.reserve(opts.max_batch);
-    std::deque<Preempted> preempted_q;
-    std::size_t next = 0;  // Queue cursor.
+    std::vector<Preempted> preempted_q;
+    // Arrived requests not yet admitted, ordered (priority desc,
+    // arrival asc, id asc): the highest waiting class admits first and
+    // FCFS survives inside a class, so with uniform priorities this is
+    // exactly the legacy FCFS cursor.
+    std::vector<std::size_t> waiting;
+    std::size_t next = 0;  // Arrival-ingestion cursor.
     double now = 0.0;
     // Slab-gate occupancy: rows resident in caches plus the
     // still-to-prefill prompt rows of admitted requests (kSlabPrompt),
     // or the summed worst-case footprints (kSlabReserve).
     std::size_t committed_cache = 0;
     std::size_t reserved_footprint = 0;
+    // Per-request swap-in attempt counters (the fault-stream key).
+    std::vector<std::size_t> swap_attempts(queue.size(), 0);
+    // Robustness events between steps, attached to the next recorded
+    // step for replay (events of abandoned step attempts roll into
+    // the next recorded step; any trailing events flush into the
+    // final one, so the step log conserves every event the report
+    // totals count).
+    std::size_t pending_drops = 0;
+    std::size_t pending_sheds = 0;
+    std::size_t pending_preempts = 0;
+    std::size_t pending_fault_retries = 0;
+    std::size_t pending_failed = 0;
+    double pending_swap_stall = 0.0;
+    // Fault-stream step site; advances per planned step even when the
+    // step is abandoned, so the schedule replays exactly.
+    std::uint64_t fault_site = 0;
 
-    const auto preempt_back = [&](std::size_t &step_preempts) {
-        Running victim = running.back();
-        running.pop_back();
+    const auto admit_less = [&report](std::size_t a, std::size_t b) {
+        const RequestMetrics &ma = report.requests[a];
+        const RequestMetrics &mb = report.requests[b];
+        if (ma.priority != mb.priority) {
+            return ma.priority > mb.priority;
+        }
+        if (ma.arrival_s != mb.arrival_s) {
+            return ma.arrival_s < mb.arrival_s;
+        }
+        return ma.id < mb.id;
+    };
+    const auto enqueue_waiting = [&](std::size_t idx) {
+        const auto pos =
+            std::find_if(waiting.begin(), waiting.end(),
+                         [&](std::size_t w) {
+                             return admit_less(idx, w);
+                         });
+        waiting.insert(pos, idx);
+    };
+    // Prices swap traffic onto the timeline (swap_gbps > 0 only).
+    const auto price_swap = [&](std::size_t rows) {
+        if (opts.swap_gbps <= 0.0 || rows == 0) {
+            return;
+        }
+        const double bytes = static_cast<double>(rows) * row_bytes;
+        const double stall = bytes / (opts.swap_gbps * 1e9);
+        now += stall;
+        pending_swap_stall += stall;
+        report.swap_bytes += static_cast<std::uint64_t>(bytes);
+        report.swap_stall_s += stall;
+    };
+    // Retires a never-running request (waiting or preempted).
+    const auto retire = [&](std::size_t idx, RequestOutcome oc) {
+        RequestMetrics &m = report.requests[idx];
+        m.outcome = oc;
+        m.finish_s = now;
+        if (oc == RequestOutcome::kDroppedDeadline) {
+            ++report.dropped;
+            ++pending_drops;
+        } else if (oc == RequestOutcome::kShed) {
+            ++report.shed;
+            ++pending_sheds;
+        } else {
+            ++report.failed;
+        }
+    };
+    // Is `m`'s completion deadline already missed — or, under
+    // kDropUnmeetable, provably unmeetable with `remaining` tokens
+    // still to emit (each needs one step >= min_step_s)?
+    const auto deadline_hopeless = [&](const RequestMetrics &m,
+                                       std::size_t remaining) {
+        if (m.deadline_s <= 0.0) {
+            return false;
+        }
+        const double dl = m.arrival_s + m.deadline_s;
+        if (now > dl) {
+            return true;
+        }
+        return opts.deadline_policy ==
+                   DeadlinePolicy::kDropUnmeetable &&
+               now + static_cast<double>(remaining) * min_step_s > dl;
+    };
+
+    const auto pick_victim = [&]() -> std::size_t {
+        // Every policy breaks ties toward the latest-admitted index,
+        // so kYoungest is the pure tie-break and uniform class
+        // metadata degenerates the metadata-keyed policies to the
+        // legacy victim (kLargestFootprint keys on residency).
+        std::size_t best = running.size() - 1;
+        switch (opts.evict) {
+        case EvictPolicy::kYoungest:
+            break;
+        case EvictPolicy::kLowestPriority:
+            best = 0;
+            for (std::size_t i = 1; i < running.size(); ++i) {
+                if (report.requests[running[i].idx].priority <=
+                    report.requests[running[best].idx].priority) {
+                    best = i;
+                }
+            }
+            break;
+        case EvictPolicy::kNearestDeadlineLast: {
+            const auto slack = [&](std::size_t i) {
+                const RequestMetrics &m =
+                    report.requests[running[i].idx];
+                return m.deadline_s > 0.0
+                           ? m.arrival_s + m.deadline_s - now
+                           : std::numeric_limits<double>::infinity();
+            };
+            best = 0;
+            double best_slack = slack(0);
+            for (std::size_t i = 1; i < running.size(); ++i) {
+                const double s = slack(i);
+                if (s >= best_slack) {
+                    best_slack = s;
+                    best = i;
+                }
+            }
+            break;
+        }
+        case EvictPolicy::kLargestFootprint:
+            best = 0;
+            for (std::size_t i = 1; i < running.size(); ++i) {
+                if (running[i].resident >= running[best].resident) {
+                    best = i;
+                }
+            }
+            break;
+        }
+        return best;
+    };
+
+    const auto preempt_victim = [&](std::size_t &step_preempts) {
+        const std::size_t vi = pick_victim();
+        Running victim = running[vi];
+        running.erase(running.begin() +
+                      static_cast<std::ptrdiff_t>(vi));
         Preempted p;
         p.idx = victim.idx;
         p.resident = victim.resident;
@@ -417,145 +668,37 @@ simulate_serving(const ModelConfig &model,
         if (opts.preempt == PreemptPolicy::kSwap) {
             p.swapped = true;
             p.swap = pcache[victim.idx]->swap_out();
+            price_swap(victim.resident);
         } else {
             pcache[victim.idx]->release_all();
         }
-        // push_front so when several requests are evicted in one step
-        // (back of `running` first, i.e. latest-admitted first), the
-        // earliest-admitted victim ends up at the front and readmits
-        // first.
-        preempted_q.push_front(std::move(p));
+        ++report.requests[victim.idx].preempt_count;
+        // The readmission queue stays in admission order (priority,
+        // then arrival): a victim re-enters at its original position
+        // instead of jumping to the front, so eviction storms and
+        // swap-fault recompute fallbacks can never silently invert
+        // FCFS (or priority) order.
+        const auto pos = std::find_if(
+            preempted_q.begin(), preempted_q.end(),
+            [&](const Preempted &q) {
+                return admit_less(p.idx, q.idx);
+            });
+        preempted_q.insert(pos, std::move(p));
         ++report.preemptions;
         ++step_preempts;
     };
 
-    while (next < queue.size() || !running.empty() ||
-           !preempted_q.empty()) {
-        // Idle system: jump to the next arrival (never while a
-        // preempted request waits — readmission is immediate).
-        if (running.empty() && preempted_q.empty() &&
-            next < queue.size() &&
-            report.requests[next].arrival_s > now) {
-            now = report.requests[next].arrival_s;
-        }
-        // Readmit preempted requests first (FIFO), before any new
-        // admission: swap restores the saved rows, recompute re-enters
-        // prefill over prompt + already-generated rows (emitting
-        // nothing it already emitted).
-        while (paged && !preempted_q.empty() &&
-               running.size() < opts.max_batch) {
-            Preempted &p = preempted_q.front();
-            const std::size_t need =
-                p.swapped
-                    ? PagedKvCache::pages_for(p.resident, ps)
-                    : PagedKvCache::pages_for(
-                          p.resident + p.remaining_prefill, ps);
-            if (need > pool->allocator().free_pages()) {
-                break;  // FIFO: never skip past a blocked head.
-            }
-            if (p.swapped) {
-                pcache[p.idx]->swap_in(p.swap, p.resident);
-                running.push_back({p.idx, p.remaining_prefill,
-                                   p.remaining_output, p.resident});
-            } else {
-                report.recomputed_tokens += p.resident;
-                running.push_back(
-                    {p.idx, p.resident + p.remaining_prefill,
-                     p.remaining_output, 0});
-            }
-            ++report.readmits;
-            preempted_q.pop_front();
-        }
-        ANDA_CHECK(!running.empty() || preempted_q.empty(),
-                   "preempted request cannot readmit into an idle pool");
-        // Continuous batching: admit every arrived request that fits.
-        // Readmissions drain first — new admissions wait behind them.
-        while (next < queue.size() && running.size() < opts.max_batch &&
-               report.requests[next].arrival_s <= now &&
-               (!paged || preempted_q.empty())) {
-            RequestMetrics &m = report.requests[next];
-            const std::size_t prompt =
-                static_cast<std::size_t>(m.prompt_len);
-            std::size_t reuse = 0;
-            if (paged) {
-                // Adopt as much of the anchored shared prefix as this
-                // prompt covers, always leaving >= 1 row to prefill
-                // (the completing chunk's logits emit the first
-                // token).
-                if (anchor) {
-                    reuse = std::min(
-                        {anchor->length(), shared_len, prompt - 1});
-                }
-                std::size_t need =
-                    PagedKvCache::pages_for(prompt, ps) -
-                    PagedKvCache::pages_for(reuse, ps);
-                if (reuse % ps != 0) {
-                    need += 1;  // Copy-on-extend of the shared tail.
-                }
-                if (need > pool->allocator().free_pages()) {
-                    break;  // FCFS: never skip past a blocked head.
-                }
-            } else if (opts.cache_policy == CachePolicy::kSlabReserve) {
-                const std::size_t footprint =
-                    prompt +
-                    static_cast<std::size_t>(m.output_len) - 1;
-                if (opts.max_cache_tokens > 0 &&
-                    reserved_footprint + footprint >
-                        opts.max_cache_tokens) {
-                    break;
-                }
-                reserved_footprint += footprint;
-            } else {
-                if (opts.max_cache_tokens > 0 &&
-                    committed_cache + prompt > opts.max_cache_tokens) {
-                    break;
-                }
-            }
-            m.admitted_s = now;
-            running.push_back({next, prompt - reuse,
-                               static_cast<std::size_t>(m.output_len),
-                               reuse});
-            committed_cache += prompt;
-            if (paged) {
-                pcache[next] = std::make_unique<PagedKvCache>(*pool);
-                if (reuse > 0) {
-                    pcache[next]->adopt_prefix(*anchor, reuse);
-                    report.reused_prefix_tokens += reuse;
-                }
-                if (shared_len > 0 && producer == kNone) {
-                    producer = next;
-                    anchor_target = std::min(shared_len, prompt);
-                }
-            }
-            if (exec) {
-                exec_state[next] = std::make_unique<ExecRequest>(
-                    *opts.executor, *queue[next], opts.exec_seed,
-                    opts.shared_prefix_len);
-                if (!paged) {
-                    scache[next] = std::make_unique<KvCache>(
-                        opts.executor->make_cache());
-                }
-            }
-            ++next;
-        }
-        report.peak_batch = std::max(report.peak_batch, running.size());
-
-        // Schedule the step: one decode token per finished-prefill
-        // request, leftover budget into prefill chunks (FCFS). Under
-        // kPaged the plan must also fit the free pages: when it
-        // cannot, the most recently admitted request is preempted and
-        // the plan retried (a lone request always fits, enforced by
-        // the up-front budget validation).
-        std::size_t decode_tokens = 0;
-        std::size_t prefill_tokens = 0;
-        std::vector<std::size_t> chunk;
-        std::size_t step_preempts = 0;
+    // Plans one step over the current batch, preempting under page
+    // pressure until the plan fits (a lone request always fits,
+    // enforced by the up-front budget validation).
+    const auto plan_step = [&](std::size_t &step_preempts) {
+        StepPlan plan;
         for (;;) {
-            decode_tokens = 0;
+            plan.decode_tokens = 0;
             std::size_t decode_pages = 0;
             for (const Running &r : running) {
                 if (r.remaining_prefill == 0) {
-                    ++decode_tokens;
+                    ++plan.decode_tokens;
                     if (paged) {
                         decode_pages +=
                             pcache[r.idx]->new_pages_needed(
@@ -563,17 +706,19 @@ simulate_serving(const ModelConfig &model,
                     }
                 }
             }
-            prefill_tokens = 0;
-            chunk.assign(running.size(), 0);
+            plan.prefill_tokens = 0;
+            plan.chunk.assign(running.size(), 0);
             const bool decode_fits =
-                !paged || decode_pages <= pool->allocator().free_pages();
+                !paged ||
+                decode_pages <= pool->allocator().free_pages();
             if (decode_fits) {
                 std::size_t budget =
-                    opts.max_step_tokens > decode_tokens
-                        ? opts.max_step_tokens - decode_tokens
+                    opts.max_step_tokens > plan.decode_tokens
+                        ? opts.max_step_tokens - plan.decode_tokens
                         : 0;
                 std::size_t avail =
-                    paged ? pool->allocator().free_pages() - decode_pages
+                    paged ? pool->allocator().free_pages() -
+                                decode_pages
                           : 0;
                 for (std::size_t i = 0;
                      i < running.size() && budget > 0; ++i) {
@@ -597,31 +742,313 @@ simulate_serving(const ModelConfig &model,
                         avail -= cache.new_pages_needed(
                             running[i].resident + c);
                     }
-                    chunk[i] = c;
+                    plan.chunk[i] = c;
                     budget -= c;
-                    prefill_tokens += c;
+                    plan.prefill_tokens += c;
                 }
             }
-            if (decode_fits && decode_tokens + prefill_tokens > 0) {
-                break;
+            if (decode_fits &&
+                plan.decode_tokens + plan.prefill_tokens > 0) {
+                return plan;
             }
             ANDA_CHECK(paged && running.size() > 1,
                        "scheduler cannot make progress within the page "
                        "budget");
-            preempt_back(step_preempts);
+            preempt_victim(step_preempts);
+        }
+    };
+
+    while (next < queue.size() || !waiting.empty() ||
+           !running.empty() || !preempted_q.empty()) {
+        // Idle system: jump to the next arrival (never while a
+        // preempted or waiting request is pending — their service is
+        // immediate).
+        if (running.empty() && preempted_q.empty() &&
+            waiting.empty() && next < queue.size() &&
+            report.requests[next].arrival_s > now) {
+            now = report.requests[next].arrival_s;
+        }
+        // Ingest arrivals into the priority-ordered waiting queue.
+        while (next < queue.size() &&
+               report.requests[next].arrival_s <= now) {
+            enqueue_waiting(next);
+            ++next;
+        }
+        // Deadline enforcement: waiting and preempted requests whose
+        // completion deadline is missed (or provably unmeetable)
+        // leave now instead of occupying queue slots and pages.
+        if (opts.deadline_policy != DeadlinePolicy::kNone) {
+            for (std::size_t w = 0; w < waiting.size();) {
+                const std::size_t idx = waiting[w];
+                const RequestMetrics &m = report.requests[idx];
+                if (deadline_hopeless(
+                        m, static_cast<std::size_t>(m.output_len))) {
+                    retire(idx, RequestOutcome::kDroppedDeadline);
+                    waiting.erase(waiting.begin() +
+                                  static_cast<std::ptrdiff_t>(w));
+                } else {
+                    ++w;
+                }
+            }
+            for (std::size_t p = 0; p < preempted_q.size();) {
+                const Preempted &pe = preempted_q[p];
+                if (deadline_hopeless(report.requests[pe.idx],
+                                      pe.remaining_output)) {
+                    pcache[pe.idx].reset();
+                    exec_state[pe.idx].reset();
+                    retire(pe.idx, RequestOutcome::kDroppedDeadline);
+                    preempted_q.erase(
+                        preempted_q.begin() +
+                        static_cast<std::ptrdiff_t>(p));
+                } else {
+                    ++p;
+                }
+            }
+        }
+        // Load shedding: under overload the lowest waiting class is
+        // turned away once it has queued past the timeout — graceful
+        // degradation before preemption starts thrashing. Higher
+        // classes never shed while a lower class is present.
+        if (opts.shed_timeout_s > 0.0 && !waiting.empty()) {
+            int low = report.requests[waiting.front()].priority;
+            for (const std::size_t idx : waiting) {
+                low = std::min(low, report.requests[idx].priority);
+            }
+            for (std::size_t w = 0; w < waiting.size();) {
+                const std::size_t idx = waiting[w];
+                const RequestMetrics &m = report.requests[idx];
+                if (m.priority == low &&
+                    now - m.arrival_s > opts.shed_timeout_s) {
+                    retire(idx, RequestOutcome::kShed);
+                    waiting.erase(waiting.begin() +
+                                  static_cast<std::ptrdiff_t>(w));
+                } else {
+                    ++w;
+                }
+            }
+        }
+        // Readmit preempted requests first (queue order), before any
+        // new admission: swap restores the saved rows (a seeded
+        // swap-in fault falls back to recompute), recompute re-enters
+        // prefill over prompt + already-generated rows (emitting
+        // nothing it already emitted).
+        while (paged && !preempted_q.empty() &&
+               running.size() < opts.max_batch) {
+            Preempted &p = preempted_q.front();
+            const std::size_t need =
+                p.swapped
+                    ? PagedKvCache::pages_for(p.resident, ps)
+                    : PagedKvCache::pages_for(
+                          p.resident + p.remaining_prefill, ps);
+            if (need > pool->allocator().free_pages()) {
+                break;  // In order: never skip past a blocked head.
+            }
+            if (p.swapped && faults_on &&
+                injector.swap_in_fails(report.requests[p.idx].id,
+                                       swap_attempts[p.idx]++)) {
+                // Host copy lost: fall back to recompute-on-readmit
+                // (token-identical by the recompute guarantee), then
+                // re-evaluate the larger recompute page need.
+                p.swapped = false;
+                p.swap.clear();
+                ++report.swap_faults;
+                continue;
+            }
+            if (p.swapped) {
+                pcache[p.idx]->swap_in(p.swap, p.resident);
+                price_swap(p.resident);
+                running.push_back({p.idx, p.remaining_prefill,
+                                   p.remaining_output, p.resident});
+            } else {
+                report.recomputed_tokens += p.resident;
+                running.push_back(
+                    {p.idx, p.resident + p.remaining_prefill,
+                     p.remaining_output, 0});
+            }
+            ++report.readmits;
+            preempted_q.erase(preempted_q.begin());
+        }
+        ANDA_CHECK(!running.empty() || preempted_q.empty(),
+                   "preempted request cannot readmit into an idle pool");
+        // Continuous batching: admit every waiting request that fits,
+        // highest priority first. Readmissions drain first — new
+        // admissions wait behind them.
+        while (!waiting.empty() && running.size() < opts.max_batch &&
+               (!paged || preempted_q.empty())) {
+            const std::size_t cand = waiting.front();
+            RequestMetrics &m = report.requests[cand];
+            const std::size_t prompt =
+                static_cast<std::size_t>(m.prompt_len);
+            std::size_t reuse = 0;
+            if (paged) {
+                // Adopt as much of the anchored shared prefix as this
+                // prompt covers, always leaving >= 1 row to prefill
+                // (the completing chunk's logits emit the first
+                // token).
+                if (anchor) {
+                    reuse = std::min(
+                        {anchor->length(), shared_len, prompt - 1});
+                }
+                std::size_t need =
+                    PagedKvCache::pages_for(prompt, ps) -
+                    PagedKvCache::pages_for(reuse, ps);
+                if (reuse % ps != 0) {
+                    need += 1;  // Copy-on-extend of the shared tail.
+                }
+                if (need > pool->allocator().free_pages()) {
+                    break;  // Never skip past a blocked head.
+                }
+            } else if (opts.cache_policy == CachePolicy::kSlabReserve) {
+                const std::size_t footprint =
+                    prompt +
+                    static_cast<std::size_t>(m.output_len) - 1;
+                if (opts.max_cache_tokens > 0 &&
+                    reserved_footprint + footprint >
+                        opts.max_cache_tokens) {
+                    break;
+                }
+                reserved_footprint += footprint;
+            } else {
+                if (opts.max_cache_tokens > 0 &&
+                    committed_cache + prompt > opts.max_cache_tokens) {
+                    break;
+                }
+            }
+            m.admitted_s = now;
+            running.push_back({cand, prompt - reuse,
+                               static_cast<std::size_t>(m.output_len),
+                               reuse});
+            committed_cache += prompt;
+            if (paged) {
+                pcache[cand] = std::make_unique<PagedKvCache>(*pool);
+                if (reuse > 0) {
+                    pcache[cand]->adopt_prefix(*anchor, reuse);
+                    report.reused_prefix_tokens += reuse;
+                }
+                if (shared_len > 0 && producer == kNone) {
+                    producer = cand;
+                    anchor_target = std::min(shared_len, prompt);
+                }
+            }
+            if (exec) {
+                exec_state[cand] = std::make_unique<ExecRequest>(
+                    *opts.executor, *queue[cand], opts.exec_seed,
+                    opts.shared_prefix_len);
+                if (!paged) {
+                    scache[cand] = std::make_unique<KvCache>(
+                        opts.executor->make_cache());
+                }
+            }
+            waiting.erase(waiting.begin());
+        }
+        if (running.empty()) {
+            // Everything arrived was dropped or shed; nothing to run.
+            ANDA_CHECK(waiting.empty(),
+                       "a waiting request could not admit into an "
+                       "idle batch");
+            continue;
+        }
+        report.peak_batch = std::max(report.peak_batch, running.size());
+
+        // Schedule the step: one decode token per finished-prefill
+        // request, leftover budget into prefill chunks (priority
+        // admission order). Under kPaged the plan must also fit the
+        // free pages: when it cannot, the EvictPolicy victim is
+        // preempted and the plan retried (a lone request always fits,
+        // enforced by the up-front budget validation).
+        StepPlan plan = plan_step(pending_preempts);
+
+        // Price the accelerator execution. A seeded transient fault
+        // wastes the attempt's cycles, idles through a capped
+        // exponential backoff (in units of the attempt's duration),
+        // charges every scheduled request one retry, and terminally
+        // fails requests past their budget before the retry replans.
+        SystemRun run{};
+        bool abandoned = false;
+        const std::uint64_t site = fault_site++;
+        for (std::size_t attempt = 0;; ++attempt) {
+            run = run_workload(
+                system, tech,
+                build_step_workload(model, plan.prefill_tokens,
+                                    plan.decode_tokens, opts.tuple));
+            if (!faults_on ||
+                !injector.step_attempt_fails(site, attempt)) {
+                break;
+            }
+            const double dur = run.seconds(tech);
+            now += dur * static_cast<double>(
+                             1 + injector.backoff_steps(attempt));
+            report.wasted_cycles += run.cycles;
+            ++report.step_faults;
+            ++pending_fault_retries;
+            bool removed = false;
+            for (std::size_t i = running.size(); i-- > 0;) {
+                const Running &r = running[i];
+                const bool scheduled =
+                    r.remaining_prefill == 0 || plan.chunk[i] > 0;
+                if (!scheduled) {
+                    continue;
+                }
+                RequestMetrics &m = report.requests[r.idx];
+                ++m.fault_retries;
+                if (m.fault_retries <= opts.faults.retry_budget) {
+                    continue;
+                }
+                // Terminal: the request exhausted its retry budget.
+                m.outcome = RequestOutcome::kFailed;
+                m.finish_s = now;
+                ++report.failed;
+                ++pending_failed;
+                if (paged) {
+                    pcache[r.idx].reset();
+                } else {
+                    scache[r.idx].reset();
+                }
+                exec_state[r.idx].reset();
+                if (opts.cache_policy == CachePolicy::kSlabReserve) {
+                    reserved_footprint -=
+                        static_cast<std::size_t>(m.prompt_len) +
+                        static_cast<std::size_t>(m.output_len) - 1;
+                }
+                running.erase(running.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                removed = true;
+            }
+            if (running.empty()) {
+                abandoned = true;
+                break;
+            }
+            if (removed) {
+                plan = plan_step(pending_preempts);
+            }
+        }
+        if (abandoned) {
+            // No attempt survived; the step never ran. Refresh the
+            // slab admission gate and reschedule with the freed
+            // capacity (pending event counters carry forward to the
+            // next recorded step).
+            committed_cache = 0;
+            continue;
         }
 
-        const SystemRun run = run_workload(
-            system, tech,
-            build_step_workload(model, prefill_tokens, decode_tokens,
-                                opts.tuple));
         ServingStep step;
         step.start_s = now;
         step.cycles = run.cycles;
-        step.prefill_tokens = prefill_tokens;
-        step.decode_tokens = decode_tokens;
+        step.prefill_tokens = plan.prefill_tokens;
+        step.decode_tokens = plan.decode_tokens;
         step.running = running.size();
-        step.preemptions = step_preempts;
+        step.preemptions = pending_preempts;
+        step.drops = pending_drops;
+        step.sheds = pending_sheds;
+        step.fault_retries = pending_fault_retries;
+        step.failed = pending_failed;
+        step.swap_stall_s = pending_swap_stall;
+        pending_drops = 0;
+        pending_sheds = 0;
+        pending_preempts = 0;
+        pending_fault_retries = 0;
+        pending_failed = 0;
+        pending_swap_stall = 0.0;
         report.steps.push_back(step);
         report.total_cycles += run.cycles;
         now += run.seconds(tech);
@@ -662,7 +1089,7 @@ simulate_serving(const ModelConfig &model,
             // emits nothing (everything it rebuilt was emitted
             // before).
             for (std::size_t i = 0; i < running.size(); ++i) {
-                if (chunk[i] == 0) {
+                if (plan.chunk[i] == 0) {
                     continue;
                 }
                 ExecRequest &e = *exec_state[running[i].idx];
@@ -670,15 +1097,15 @@ simulate_serving(const ModelConfig &model,
                 const std::size_t prompt =
                     static_cast<std::size_t>(m.prompt_len);
                 const std::size_t row0 = running[i].resident;
-                std::vector<int> toks(chunk[i]);
-                for (std::size_t j = 0; j < chunk[i]; ++j) {
+                std::vector<int> toks(plan.chunk[i]);
+                for (std::size_t j = 0; j < plan.chunk[i]; ++j) {
                     const std::size_t row = row0 + j;
                     toks[j] = row < prompt
                                   ? e.prompt[row]
                                   : m.tokens[row - prompt];
                 }
                 const bool completes =
-                    chunk[i] == running[i].remaining_prefill;
+                    plan.chunk[i] == running[i].remaining_prefill;
                 const bool emits = completes && m.tokens.empty();
                 // Intermediate (and re-prefill) chunks skip the
                 // O(vocab·d) logit head.
@@ -704,10 +1131,10 @@ simulate_serving(const ModelConfig &model,
                 }
             }
             for (std::size_t i = 0; i < running.size(); ++i) {
-                if (chunk[i] > 0) {
+                if (plan.chunk[i] > 0) {
                     pcache[running[i].idx]->reserve(
-                        running[i].resident + chunk[i]);
-                    pcache[running[i].idx]->advance(chunk[i]);
+                        running[i].resident + plan.chunk[i]);
+                    pcache[running[i].idx]->advance(plan.chunk[i]);
                 }
             }
         }
@@ -721,9 +1148,9 @@ simulate_serving(const ModelConfig &model,
         for (std::size_t i = 0; i < running.size(); ++i) {
             Running &r = running[i];
             RequestMetrics &m = report.requests[r.idx];
-            if (chunk[i] > 0) {
-                r.remaining_prefill -= chunk[i];
-                r.resident += chunk[i];
+            if (plan.chunk[i] > 0) {
+                r.remaining_prefill -= plan.chunk[i];
+                r.resident += plan.chunk[i];
                 if (r.remaining_prefill == 0) {
                     const std::size_t emitted =
                         static_cast<std::size_t>(m.output_len) -
@@ -739,6 +1166,7 @@ simulate_serving(const ModelConfig &model,
             }
             if (r.remaining_prefill == 0 && r.remaining_output == 0) {
                 m.finish_s = now;
+                ++report.completed;
             }
         }
 
@@ -804,6 +1232,19 @@ simulate_serving(const ModelConfig &model,
             report.peak_used_pages = std::max(report.peak_used_pages,
                                               alloc.used_pages());
         }
+    }
+
+    // Trailing events (after the last recorded step — e.g. a final
+    // batch failing terminally, or drops with nothing left to run)
+    // flush into the final step so the step log conserves them.
+    if (!report.steps.empty()) {
+        ServingStep &last = report.steps.back();
+        last.preemptions += pending_preempts;
+        last.drops += pending_drops;
+        last.sheds += pending_sheds;
+        last.fault_retries += pending_fault_retries;
+        last.failed += pending_failed;
+        last.swap_stall_s += pending_swap_stall;
     }
 
     report.makespan_s = now;

@@ -36,6 +36,22 @@
 ///    emitted token: per-request sampler streams are
 ///    schedule-independent and rebuilt prefixes are bit-identical.
 ///
+/// The robustness layer turns the scheduler into an SLO-aware,
+/// fault-tolerant server. Requests carry a priority class and
+/// optional TTFT / completion SLOs (request_stream.h); admission
+/// always serves the highest waiting class first (FCFS within a
+/// class), the paged eviction victim is an EvictPolicy knob,
+/// DeadlinePolicy drops waiting work that already missed (or provably
+/// cannot meet) its deadline, and shed_timeout_s sheds the lowest
+/// waiting class under overload before preemption thrashes. A seeded
+/// FaultInjector (serve/fault.h) can fail step execution (transient;
+/// capped backoff, per-request retry budgets, terminal failure) and
+/// swap-ins (fall back to recompute). All of it is deterministic, and
+/// with every knob at its default the step log is bit-identical to
+/// the pre-robustness scheduler. ServingReport::by_class() rolls up
+/// per-class latency percentiles, SLO attainment, and drop / shed /
+/// retry accounting. docs/SERVING.md is the full subsystem guide.
+///
 /// With ServingOptions::executor set the scheduler additionally
 /// *executes* generation on the accuracy substrate: admitted requests
 /// prefill per-sequence KV caches, every step runs one ragged
@@ -54,6 +70,7 @@
 #include "common/rng.h"
 #include "hw/workload.h"
 #include "llm/transformer.h"
+#include "serve/fault.h"
 #include "serve/request_stream.h"
 
 namespace anda {
@@ -70,9 +87,43 @@ enum class PreemptPolicy {
     kRecompute,  ///< Drop the pages; re-prefill prompt + generated
                  ///< rows on readmission (costs compute, no memory).
     kSwap,       ///< Serialize rows to host memory; restore on
-                 ///< readmission (costs no accelerator cycles in this
-                 ///< model — the priced timeline treats swap traffic
-                 ///< as free, a documented simplification).
+                 ///< readmission. With ServingOptions::swap_gbps > 0
+                 ///< the rows move over a priced host link and stall
+                 ///< the timeline; at 0 (default) swap traffic stays
+                 ///< free, the legacy simplification.
+};
+
+/// Which resident request the paged scheduler evicts under page
+/// pressure. Every policy breaks ties toward the latest-admitted
+/// resident, so kYoungest is the degenerate "ties only" case and the
+/// default reproduces the pre-policy scheduler exactly.
+enum class EvictPolicy {
+    kYoungest,             ///< Latest-admitted resident (legacy).
+    kLowestPriority,       ///< Lowest Request::priority first.
+    kNearestDeadlineLast,  ///< Most completion-deadline slack first
+                           ///< (no deadline = infinite slack).
+    kLargestFootprint,     ///< Most resident KV rows first.
+};
+
+/// What the scheduler does about Request::deadline_s.
+enum class DeadlinePolicy {
+    kNone,        ///< Deadlines are reported (SLO attainment) only.
+    kDropMissed,  ///< A waiting or preempted request whose completion
+                  ///< deadline has already passed is dropped.
+    kDropUnmeetable,  ///< Additionally drop when the deadline is
+                      ///< provably unmeetable: even at one emitted
+                      ///< token per cheapest-possible step, the
+                      ///< remaining output cannot finish in time.
+};
+
+/// How one request left the scheduler.
+enum class RequestOutcome {
+    kCompleted,        ///< Generated every requested token.
+    kDroppedDeadline,  ///< Dropped by DeadlinePolicy enforcement.
+    kShed,             ///< Load-shed while waiting (lowest class
+                       ///< past ServingOptions::shed_timeout_s).
+    kFailed,           ///< Terminally failed: exhausted its
+                       ///< FaultSpec::retry_budget.
 };
 
 /// Scheduling knobs of the continuous-batching loop.
@@ -124,6 +175,29 @@ struct ServingOptions {
     /// Seed of the per-request prompt/sampling streams, so executed
     /// tokens are deterministic and independent of scheduling.
     std::uint64_t exec_seed = 0;
+    /// Victim selection under page pressure (kPaged). Admission is
+    /// always priority-aware: among arrived waiting requests the
+    /// highest Request::priority admits first (FCFS inside a class),
+    /// so a high-priority arrival jumps the queue under any policy.
+    EvictPolicy evict = EvictPolicy::kYoungest;
+    /// Deadline enforcement of Request::deadline_s. Enforcement acts
+    /// on waiting and preempted requests (a running request finishes
+    /// its residency); dropped requests are accounted per class.
+    DeadlinePolicy deadline_policy = DeadlinePolicy::kNone;
+    /// Load shedding under overload (0 = off): a waiting request of
+    /// the lowest priority class currently waiting that has queued
+    /// longer than this is shed (RequestOutcome::kShed) instead of
+    /// competing until preemption thrashes. Higher classes never shed
+    /// while a lower class is waiting.
+    double shed_timeout_s = 0.0;
+    /// Host-link bandwidth pricing kSwap traffic [GB/s]. 0 (default)
+    /// keeps swaps free and step logs bit-identical to pre-pricing
+    /// runs; > 0 stalls the timeline by bytes_per_row x rows moved on
+    /// every swap-out and swap-in (bytes_per_row = 2 tensors x
+    /// real n_layers x real d_model x 4 B, the priced FP32 KV row).
+    double swap_gbps = 0.0;
+    /// Fault injection (default: inert). See serve/fault.h.
+    FaultSpec faults;
 };
 
 /// Timeline of one request through the scheduler.
@@ -132,19 +206,37 @@ struct RequestMetrics {
     double arrival_s = 0.0;
     int prompt_len = 0;
     int output_len = 0;
-    /// When the request entered the running batch (>= arrival_s).
+    /// Priority class and SLOs, copied from the Request.
+    int priority = 0;
+    double ttft_slo_s = 0.0;
+    double deadline_s = 0.0;
+    /// When the request entered the running batch (>= arrival_s; 0
+    /// when it was dropped or shed before ever admitting).
     double admitted_s = 0.0;
     /// End of the step that completed the prefill and emitted the
     /// first output token.
     double first_token_s = 0.0;
-    /// End of the step that emitted the last output token.
+    /// End of the step that emitted the last output token — or, for a
+    /// non-completed outcome, the time the request left the scheduler.
     double finish_s = 0.0;
+    /// How the request left the scheduler.
+    RequestOutcome outcome = RequestOutcome::kCompleted;
+    /// Times this request was evicted under page pressure.
+    std::size_t preempt_count = 0;
+    /// Transient step-fault retries charged to this request.
+    std::size_t fault_retries = 0;
     /// Generated tokens in emission order (execution mode only; empty
     /// when the run priced steps without executing them). Size equals
     /// output_len once the request finished.
     std::vector<int> tokens;
 
+    bool completed() const
+    {
+        return outcome == RequestOutcome::kCompleted;
+    }
     double ttft_s() const { return first_token_s - arrival_s; }
+    /// Arrival-to-finish latency (the quantity deadline_s bounds).
+    double latency_s() const { return finish_s - arrival_s; }
     /// Mean inter-token latency of the decode phase (0 when the
     /// request generated a single token).
     double decode_s_per_token() const
@@ -173,8 +265,23 @@ struct ServingStep {
     /// replays). Zero under the slab policies.
     std::size_t used_pages = 0;
     std::size_t free_pages = 0;
-    /// Requests preempted while scheduling this step.
+    /// Requests preempted while scheduling this step. Event counters
+    /// (preemptions / drops / sheds / fault_retries / failed /
+    /// swap_stall_s) cover everything since the previous recorded
+    /// step — abandoned step attempts roll forward, trailing events
+    /// flush into the final step — so summing a field over the log
+    /// reproduces the report total whenever any step was recorded.
     std::size_t preemptions = 0;
+    /// Requests dropped (deadline) / shed (overload) while this step
+    /// was being scheduled.
+    std::size_t drops = 0;
+    std::size_t sheds = 0;
+    /// Failed accelerator attempts retried before this step ran, and
+    /// requests terminally failed during those retries.
+    std::size_t fault_retries = 0;
+    std::size_t failed = 0;
+    /// Host-link stall priced into this step's span (swap_gbps > 0).
+    double swap_stall_s = 0.0;
 };
 
 /// Outcome of one simulated serving run.
@@ -204,11 +311,27 @@ struct ServingReport {
     /// Prompt rows adopted from the shared-prefix anchor instead of
     /// being prefilled.
     std::size_t reused_prefix_tokens = 0;
-    /// Rows re-prefilled after recompute-policy preemptions.
+    /// Rows re-prefilled after recompute-policy preemptions (swap-in
+    /// faults falling back to recompute count here too).
     std::size_t recomputed_tokens = 0;
+    /// Robustness accounting. Conservation invariant:
+    /// requests.size() == completed + dropped + shed + failed.
+    std::size_t completed = 0;  ///< Requests that finished every token.
+    std::size_t dropped = 0;    ///< DeadlinePolicy drops.
+    std::size_t shed = 0;       ///< Load-shed requests.
+    std::size_t failed = 0;     ///< Terminal fault failures.
+    /// Fault-injection accounting (zero when FaultSpec is inert).
+    std::size_t step_faults = 0;  ///< Failed accelerator attempts.
+    std::size_t swap_faults = 0;  ///< Swap-ins fallen back to recompute.
+    std::uint64_t wasted_cycles = 0;  ///< Cycles of failed attempts.
+    /// Priced swap traffic (swap_gbps > 0; otherwise both zero).
+    std::uint64_t swap_bytes = 0;
+    double swap_stall_s = 0.0;
 
     /// Generated tokens per second over the makespan.
     double output_tokens_per_s() const;
+    /// Latency statistics cover completed requests only (dropped /
+    /// shed / failed requests never emit their full stream).
     double mean_ttft_s() const;
     double p95_ttft_s() const;
     /// Mean decode inter-token latency across multi-token requests.
@@ -223,8 +346,53 @@ struct ServingReport {
     /// the determinism fingerprint generation_smoke pins.
     std::uint64_t generated_checksum() const;
     /// One-line human-readable summary for logs and CI artifacts
-    /// (gains a pages/preemptions segment under kPaged).
+    /// (gains a pages/preemptions segment under kPaged and a
+    /// robustness segment when drops / sheds / faults occurred).
     std::string summary() const;
+    /// Per-priority-class rollup, ascending priority. See ClassReport.
+    std::vector<struct ClassReport> by_class() const;
+};
+
+/// Per-priority-class rollup of one serving run: outcome counts,
+/// latency percentiles over completed requests, and SLO attainment.
+/// Attainment denominators count every request carrying the SLO —
+/// dropped / shed / failed requests score as missed, so shedding
+/// cannot inflate the attainment of the class it sheds from.
+struct ClassReport {
+    int priority = 0;
+    std::size_t n = 0;
+    std::size_t completed = 0;
+    std::size_t dropped = 0;
+    std::size_t shed = 0;
+    std::size_t failed = 0;
+    /// Over completed requests (0 when none completed).
+    double ttft_mean_s = 0.0;
+    double ttft_p95_s = 0.0;
+    double latency_p50_s = 0.0;
+    double latency_p95_s = 0.0;
+    /// SLO attainment: requests carrying the SLO / those meeting it.
+    std::size_t ttft_slo_n = 0;
+    std::size_t ttft_slo_met = 0;
+    std::size_t deadline_n = 0;
+    std::size_t deadline_met = 0;
+    /// Robustness traffic attributed to the class.
+    std::size_t preemptions = 0;
+    std::size_t fault_retries = 0;
+
+    /// Fraction of SLO-carrying requests that met it (1 when the
+    /// class carries none — vacuously attained).
+    double ttft_attainment() const
+    {
+        return ttft_slo_n > 0 ? static_cast<double>(ttft_slo_met) /
+                                    static_cast<double>(ttft_slo_n)
+                              : 1.0;
+    }
+    double deadline_attainment() const
+    {
+        return deadline_n > 0 ? static_cast<double>(deadline_met) /
+                                    static_cast<double>(deadline_n)
+                              : 1.0;
+    }
 };
 
 /// The fused FP-INT GeMM workload of one scheduler step carrying

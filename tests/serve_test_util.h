@@ -28,6 +28,22 @@ small_spec()
     return spec;
 }
 
+/// small_spec() carrying a three-class priority mix (batch /
+/// standard / interactive) — the robustness tests' default traffic.
+/// Arrivals and lengths are bit-identical to small_spec(): the class
+/// stream is independent of the other draws.
+inline RequestStreamSpec
+classed_spec()
+{
+    RequestStreamSpec spec = small_spec();
+    spec.classes = {
+        {0, 2.0, 0.0, 0.0},    // batch: no SLO
+        {1, 1.0, 0.5, 2.0},    // standard
+        {2, 1.0, 0.05, 0.5},   // interactive: tight SLO
+    };
+    return spec;
+}
+
 /// Tiny accuracy substrate sharing llama-7b's pricing (real) dims, so
 /// executed runs must replay priced runs exactly.
 inline const Transformer &

@@ -680,5 +680,460 @@ TEST_F(ServingSimTest, RejectsDegenerateInputs)
         std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// Robustness layer: priority classes, SLO enforcement, eviction
+// policies, fault injection, swap pricing.
+
+using serve_test::classed_spec;
+
+/// Field-by-field step-log equality: the strongest no-perturbation
+/// assertion the robustness knobs are held to.
+void
+expect_same_run(const ServingReport &a, const ServingReport &b)
+{
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+        const ServingStep &x = a.steps[i];
+        const ServingStep &y = b.steps[i];
+        EXPECT_EQ(x.start_s, y.start_s) << "step " << i;
+        EXPECT_EQ(x.cycles, y.cycles) << "step " << i;
+        EXPECT_EQ(x.prefill_tokens, y.prefill_tokens) << "step " << i;
+        EXPECT_EQ(x.decode_tokens, y.decode_tokens) << "step " << i;
+        EXPECT_EQ(x.running, y.running) << "step " << i;
+        EXPECT_EQ(x.cache_tokens, y.cache_tokens) << "step " << i;
+        EXPECT_EQ(x.used_pages, y.used_pages) << "step " << i;
+        EXPECT_EQ(x.free_pages, y.free_pages) << "step " << i;
+        EXPECT_EQ(x.preemptions, y.preemptions) << "step " << i;
+        EXPECT_EQ(x.drops, y.drops) << "step " << i;
+        EXPECT_EQ(x.sheds, y.sheds) << "step " << i;
+        EXPECT_EQ(x.fault_retries, y.fault_retries) << "step " << i;
+        EXPECT_EQ(x.failed, y.failed) << "step " << i;
+        EXPECT_EQ(x.swap_stall_s, y.swap_stall_s) << "step " << i;
+    }
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.readmits, b.readmits);
+    EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(RequestStream, PriorityClassMixIsDeterministicAndSeedScoped)
+{
+    const RequestStreamSpec spec = classed_spec();
+    const auto a = generate_requests(spec);
+    const auto b = generate_requests(spec);
+    ASSERT_EQ(a.size(), b.size());
+    bool seen[3] = {false, false, false};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].priority, b[i].priority);
+        ASSERT_GE(a[i].priority, 0);
+        ASSERT_LE(a[i].priority, 2);
+        seen[a[i].priority] = true;
+        // SLO fields ride with the class.
+        const PriorityClassSpec &c =
+            spec.classes[static_cast<std::size_t>(a[i].priority)];
+        EXPECT_EQ(a[i].ttft_slo_s, c.ttft_slo_s);
+        EXPECT_EQ(a[i].deadline_s, c.deadline_s);
+    }
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2])
+        << "weights should populate every class";
+    // The class stream never perturbs arrivals or lengths: the
+    // classed trace matches the classless one field-for-field.
+    const auto base = generate_requests(small_spec());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_s, base[i].arrival_s);
+        EXPECT_EQ(a[i].prompt_len, base[i].prompt_len);
+        EXPECT_EQ(a[i].output_len, base[i].output_len);
+    }
+    // And it is seed-scoped: a different seed draws different classes.
+    RequestStreamSpec other = spec;
+    other.seed += 1;
+    const auto c = generate_requests(other);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        differs = differs || c[i].priority != a[i].priority;
+    }
+    EXPECT_TRUE(differs);
+    // Validation: non-positive weights and negative SLOs are rejected.
+    RequestStreamSpec bad = spec;
+    bad.classes[0].weight = 0.0;
+    EXPECT_THROW(generate_requests(bad), std::invalid_argument);
+    bad = spec;
+    bad.classes[1].ttft_slo_s = -1.0;
+    EXPECT_THROW(generate_requests(bad), std::invalid_argument);
+}
+
+TEST_F(ServingSimTest, NeutralRobustnessKnobsAreNoOps)
+{
+    // The acceptance bar of the robustness layer: with every knob at
+    // its neutral value the step log is bit-identical to the legacy
+    // scheduler, even under page pressure with preemptions firing.
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    const ServingReport base = run(paged_opts(), spec);
+    ASSERT_GE(base.preemptions, 1u);
+    EXPECT_EQ(base.completed, base.requests.size());
+    EXPECT_EQ(base.dropped + base.shed + base.failed, 0u);
+    EXPECT_EQ(base.step_faults + base.swap_faults, 0u);
+    EXPECT_EQ(base.swap_bytes, 0u);
+
+    // Uniform class metadata degenerates the metadata-keyed eviction
+    // policies to the legacy youngest-victim choice
+    // (kLargestFootprint keys on residency, which always varies).
+    for (const EvictPolicy evict :
+         {EvictPolicy::kLowestPriority,
+          EvictPolicy::kNearestDeadlineLast}) {
+        ServingOptions opts = paged_opts();
+        opts.evict = evict;
+        expect_same_run(run(opts, spec), base);
+    }
+    // A single SLO-free class leaves the trace and schedule alone.
+    RequestStreamSpec one_class = spec;
+    one_class.classes = {{0, 1.0, 0.0, 0.0}};
+    expect_same_run(run(paged_opts(), one_class), base);
+    // Enforcement with no deadlines to enforce is inert.
+    ServingOptions neutral = paged_opts();
+    neutral.deadline_policy = DeadlinePolicy::kDropMissed;
+    expect_same_run(run(neutral, spec), base);
+    // A seeded but zero-probability fault campaign is inert.
+    neutral = paged_opts();
+    neutral.faults.seed = 1234;
+    expect_same_run(run(neutral, spec), base);
+}
+
+TEST_F(ServingSimTest, PriorityAdmissionJumpsQueue)
+{
+    // A burst of six class-0 requests and two class-1 requests with a
+    // two-slot batch: the high class admits first despite the larger
+    // ids, the low class waits.
+    std::vector<Request> reqs;
+    for (int id = 0; id < 8; ++id) {
+        reqs.push_back({id, 0.0, 8, 4, id >= 6 ? 1 : 0, 0.0, 0.0});
+    }
+    ServingOptions opts;
+    opts.max_batch = 2;
+    opts.max_step_tokens = 32;
+    opts.tuple = {8, 7, 7, 6};
+    const ServingReport report =
+        simulate_serving(find_model("llama-7b"), find_system("anda"),
+                         tech16(), reqs, opts);
+    ASSERT_EQ(report.requests.size(), 8u);
+    EXPECT_EQ(report.requests[6].admitted_s, 0.0);
+    EXPECT_EQ(report.requests[7].admitted_s, 0.0);
+    for (int id = 0; id < 6; ++id) {
+        EXPECT_GT(report.requests[static_cast<std::size_t>(id)]
+                      .admitted_s,
+                  0.0)
+            << "id=" << id;
+    }
+    EXPECT_EQ(report.completed, 8u);
+}
+
+TEST_F(ServingSimTest, EvictionPolicyPicksTheRightVictim)
+{
+    // Three staggered arrivals admit in id order (so admission age,
+    // priority, deadline, and footprint all disagree about the
+    // victim), sized to force exactly one preemption: at the first
+    // joint decode step two new pages are needed with one free.
+    const std::vector<Request> reqs = {
+        {0, 0.0, 4, 4, 0, 0.0, 0.5},
+        {1, 1e-9, 4, 4, 2, 0.0, 1000.0},
+        {2, 2e-9, 4, 4, 1, 0.0, 0.2},
+    };
+    ServingOptions opts;
+    opts.max_batch = 3;
+    opts.max_step_tokens = 16;
+    opts.tuple = {8, 7, 7, 6};
+    opts.cache_policy = CachePolicy::kPaged;
+    opts.page_size = 4;
+    opts.page_budget = 5;
+    const struct {
+        EvictPolicy evict;
+        int victim;
+    } cases[] = {
+        {EvictPolicy::kYoungest, 2},         // latest admitted
+        {EvictPolicy::kLowestPriority, 0},   // priority 0
+        {EvictPolicy::kNearestDeadlineLast, 1},  // farthest deadline
+        {EvictPolicy::kLargestFootprint, 0},  // one decode row ahead
+    };
+    for (const auto &c : cases) {
+        ServingOptions o = opts;
+        o.evict = c.evict;
+        const ServingReport report =
+            simulate_serving(find_model("llama-7b"),
+                             find_system("anda"), tech16(), reqs, o);
+        ASSERT_GE(report.preemptions, 1u)
+            << "policy " << static_cast<int>(c.evict);
+        for (int id = 0; id < 3; ++id) {
+            const auto &m =
+                report.requests[static_cast<std::size_t>(id)];
+            if (id == c.victim) {
+                EXPECT_GE(m.preempt_count, 1u)
+                    << "policy " << static_cast<int>(c.evict);
+            } else {
+                EXPECT_EQ(m.preempt_count, 0u)
+                    << "policy " << static_cast<int>(c.evict)
+                    << " id " << id;
+            }
+        }
+        EXPECT_EQ(report.completed, 3u);
+    }
+}
+
+TEST_F(ServingSimTest, DeadlineDropsConserveAccounting)
+{
+    // Class 0 carries a deadline no request can meet (tighter than
+    // one decode step); class 1 carries none. kDropUnmeetable turns
+    // the whole low class away at arrival, the rest complete.
+    RequestStreamSpec spec = small_spec();
+    spec.classes = {{0, 1.0, 0.0, 1e-7}, {1, 1.0, 0.0, 0.0}};
+    const auto reqs = generate_requests(spec);
+    std::size_t n0 = 0;
+    for (const Request &r : reqs) {
+        n0 += r.priority == 0 ? 1u : 0u;
+    }
+    ASSERT_GT(n0, 0u);
+    ASSERT_LT(n0, reqs.size());
+
+    ServingOptions opts = paged_opts();
+    opts.deadline_policy = DeadlinePolicy::kDropUnmeetable;
+    const ServingReport report = run(opts, spec);
+    EXPECT_EQ(report.dropped, n0);
+    EXPECT_EQ(report.completed, reqs.size() - n0);
+    EXPECT_EQ(report.shed, 0u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.completed + report.dropped + report.shed +
+                  report.failed,
+              report.requests.size());
+    std::size_t step_drops = 0;
+    std::size_t completed_prompt = 0;
+    std::size_t prefill = 0;
+    for (const auto &s : report.steps) {
+        step_drops += s.drops;
+        prefill += s.prefill_tokens;
+    }
+    EXPECT_EQ(step_drops, n0);
+    for (const auto &m : report.requests) {
+        if (m.completed()) {
+            completed_prompt +=
+                static_cast<std::size_t>(m.prompt_len);
+        } else {
+            EXPECT_EQ(m.outcome, RequestOutcome::kDroppedDeadline);
+            EXPECT_GE(m.finish_s, m.arrival_s);
+            EXPECT_EQ(m.first_token_s, 0.0);
+        }
+    }
+    // Dropped requests never prefill a row.
+    EXPECT_EQ(prefill, completed_prompt + report.recomputed_tokens);
+
+    const auto classes = report.by_class();
+    ASSERT_EQ(classes.size(), 2u);
+    EXPECT_EQ(classes[0].priority, 0);
+    EXPECT_EQ(classes[0].dropped, n0);
+    EXPECT_EQ(classes[0].completed, 0u);
+    EXPECT_EQ(classes[0].deadline_attainment(), 0.0);
+    EXPECT_EQ(classes[1].priority, 1);
+    EXPECT_EQ(classes[1].completed, reqs.size() - n0);
+    EXPECT_EQ(classes[1].deadline_attainment(), 1.0);  // vacuous
+    EXPECT_NE(report.summary().find("drop"), std::string::npos);
+}
+
+TEST_F(ServingSimTest, LoadSheddingDropsLowestClassFirst)
+{
+    // Burst overload with a batch one slot larger than the high
+    // class: every high request admits immediately, the overflowing
+    // low class sheds once it queues past the timeout — and only the
+    // low class sheds.
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    spec.classes = {{0, 3.0, 0.0, 0.0}, {1, 1.0, 0.0, 0.0}};
+    const auto reqs = generate_requests(spec);
+    std::size_t n1 = 0;
+    for (const Request &r : reqs) {
+        n1 += r.priority == 1 ? 1u : 0u;
+    }
+    ASSERT_GT(n1, 0u);
+
+    ServingOptions opts;
+    opts.max_batch = n1 + 1;
+    opts.max_step_tokens = 64;
+    opts.tuple = {8, 7, 7, 6};
+    opts.shed_timeout_s = 1e-9;
+    const ServingReport report = run(opts, spec);
+    EXPECT_EQ(report.shed, reqs.size() - n1 - 1);
+    EXPECT_EQ(report.completed, n1 + 1);
+    for (const auto &m : report.requests) {
+        if (m.outcome == RequestOutcome::kShed) {
+            EXPECT_EQ(m.priority, 0);
+            EXPECT_EQ(m.admitted_s, 0.0);  // never admitted
+            EXPECT_GT(m.finish_s, 0.0);    // left at shed time
+        }
+    }
+    const auto classes = report.by_class();
+    ASSERT_EQ(classes.size(), 2u);
+    EXPECT_EQ(classes[0].shed, report.shed);
+    EXPECT_EQ(classes[1].shed, 0u);
+    EXPECT_EQ(classes[1].completed, n1);
+    EXPECT_NE(report.summary().find("shed"), std::string::npos);
+}
+
+TEST(FaultInjection, ScheduleIsSeedDeterministicAndValidated)
+{
+    FaultSpec spec;
+    spec.seed = 77;
+    spec.step_fail_prob = 0.5;
+    spec.swap_fail_prob = 0.25;
+    const FaultInjector a(spec);
+    const FaultInjector b(spec);
+    FaultSpec other = spec;
+    other.seed = 78;
+    const FaultInjector c(other);
+    bool differs = false;
+    std::size_t fails = 0;
+    for (std::uint64_t site = 0; site < 256; ++site) {
+        for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+            const bool fa = a.step_attempt_fails(site, attempt);
+            EXPECT_EQ(fa, b.step_attempt_fails(site, attempt));
+            EXPECT_EQ(a.swap_in_fails(static_cast<int>(site), attempt),
+                      b.swap_in_fails(static_cast<int>(site), attempt));
+            differs =
+                differs || fa != c.step_attempt_fails(site, attempt);
+            fails += fa ? 1u : 0u;
+        }
+    }
+    EXPECT_TRUE(differs) << "fault schedule must be seed-scoped";
+    // ~half the attempts fail at p = 0.5.
+    EXPECT_GT(fails, 256u);
+    EXPECT_LT(fails, 768u);
+    // Backoff grows exponentially and saturates at the cap.
+    EXPECT_EQ(a.backoff_steps(0), spec.backoff_base_steps);
+    EXPECT_GE(a.backoff_steps(3), a.backoff_steps(1));
+    EXPECT_EQ(a.backoff_steps(63), spec.backoff_cap_steps);
+    FaultSpec bad = spec;
+    bad.step_fail_prob = 1.5;
+    EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+    bad = spec;
+    bad.swap_fail_prob = -0.1;
+    EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST_F(ServingSimTest, FaultScheduleReplaysAndBudgetFailsTerminally)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    const ServingReport clean = run(paged_opts(), spec);
+
+    // Transient faults with a roomy budget: every request survives,
+    // the schedule replays bit-for-bit, and the faults cost time.
+    ServingOptions opts = paged_opts();
+    opts.faults.seed = 7;
+    opts.faults.step_fail_prob = 0.4;
+    opts.faults.retry_budget = 1000;
+    const ServingReport a = run(opts, spec);
+    const ServingReport b = run(opts, spec);
+    expect_same_run(a, b);
+    EXPECT_GT(a.step_faults, 0u);
+    EXPECT_GT(a.wasted_cycles, 0u);
+    EXPECT_EQ(a.failed, 0u);
+    EXPECT_EQ(a.completed, a.requests.size());
+    EXPECT_GT(a.makespan_s, clean.makespan_s);
+    std::size_t retries = 0;
+    for (const auto &s : a.steps) {
+        retries += s.fault_retries;
+    }
+    EXPECT_EQ(retries, a.step_faults);
+    EXPECT_NE(a.summary().find("fault"), std::string::npos);
+
+    // A certain-failure campaign exhausts every retry budget: each
+    // request fails terminally after budget + 1 attempts and the
+    // simulation still terminates.
+    ServingOptions doom = paged_opts();
+    doom.faults.seed = 7;
+    doom.faults.step_fail_prob = 1.0;
+    doom.faults.retry_budget = 2;
+    const ServingReport d = run(doom, spec);
+    EXPECT_EQ(d.failed, d.requests.size());
+    EXPECT_EQ(d.completed, 0u);
+    for (const auto &m : d.requests) {
+        EXPECT_EQ(m.outcome, RequestOutcome::kFailed);
+        EXPECT_EQ(m.fault_retries, doom.faults.retry_budget + 1);
+        EXPECT_GT(m.finish_s, 0.0);
+    }
+}
+
+TEST_F(ServingSimTest, SwapTrafficPricingStretchesMakespan)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    ServingOptions free_link = paged_opts();
+    free_link.preempt = PreemptPolicy::kSwap;
+    const ServingReport a = run(free_link, spec);
+    ASSERT_GE(a.preemptions, 1u);
+    EXPECT_EQ(a.swap_bytes, 0u);
+    EXPECT_EQ(a.swap_stall_s, 0.0);
+
+    ServingOptions priced_link = free_link;
+    priced_link.swap_gbps = 10.0;
+    const ServingReport b = run(priced_link, spec);
+    // The burst schedule is time-shift invariant: identical token
+    // plan, only the timeline stretches by the host-link stalls.
+    EXPECT_EQ(b.total_cycles, a.total_cycles);
+    EXPECT_EQ(b.preemptions, a.preemptions);
+    EXPECT_GT(b.swap_bytes, 0u);
+    EXPECT_GT(b.swap_stall_s, 0.0);
+    EXPECT_GT(b.makespan_s, a.makespan_s);
+    // Stall accounting is conserved onto the step log.
+    double step_stall = 0.0;
+    for (const auto &s : b.steps) {
+        step_stall += s.swap_stall_s;
+    }
+    EXPECT_NEAR(step_stall, b.swap_stall_s,
+                1e-12 * (1.0 + b.swap_stall_s));
+    // Row pricing: bytes are whole K+V rows of the real model dims.
+    const auto &dims = find_model("llama-7b").real;
+    const std::uint64_t row =
+        8ull * static_cast<std::uint64_t>(dims.n_layers) *
+        static_cast<std::uint64_t>(dims.d_model);
+    EXPECT_EQ(b.swap_bytes % row, 0u);
+    EXPECT_NE(b.summary().find("swapped"), std::string::npos);
+}
+
+TEST_F(ServingExecutionTest, SurvivableFaultsKeepTokensIdentical)
+{
+    // Step faults retry and every swap-in fails over to recompute,
+    // yet with a large retry budget no request fails — and not one
+    // emitted token moves.
+    const ServingReport clean =
+        run(paged_exec_opts(12, PreemptPolicy::kSwap));
+    ServingOptions opts = paged_exec_opts(12, PreemptPolicy::kSwap);
+    opts.faults.seed = 3;
+    opts.faults.step_fail_prob = 0.2;
+    opts.faults.swap_fail_prob = 1.0;
+    opts.faults.retry_budget = 1000000;
+    const ServingReport faulty = run(opts);
+    ASSERT_GE(faulty.preemptions, 1u);
+    EXPECT_GT(faulty.step_faults, 0u);
+    EXPECT_GT(faulty.swap_faults, 0u);
+    EXPECT_GT(faulty.recomputed_tokens, 0u);  // fallback recomputes
+    EXPECT_EQ(faulty.failed, 0u);
+    EXPECT_EQ(faulty.completed, faulty.requests.size());
+    ASSERT_EQ(faulty.requests.size(), clean.requests.size());
+    for (std::size_t i = 0; i < clean.requests.size(); ++i) {
+        EXPECT_EQ(faulty.requests[i].tokens, clean.requests[i].tokens)
+            << "id=" << clean.requests[i].id;
+    }
+    // The priced twin sees the identical fault schedule: faults are
+    // functions of the seed and the step sites, never of execution.
+    ServingOptions priced = opts;
+    priced.executor = nullptr;
+    const ServingReport twin =
+        serve_test::run_executed(priced, exec_spec());
+    EXPECT_EQ(twin.step_faults, faulty.step_faults);
+    EXPECT_EQ(twin.swap_faults, faulty.swap_faults);
+    EXPECT_EQ(twin.preemptions, faulty.preemptions);
+    EXPECT_EQ(twin.makespan_s, faulty.makespan_s);
+    EXPECT_EQ(twin.total_cycles, faulty.total_cycles);
+}
+
 }  // namespace
 }  // namespace anda
