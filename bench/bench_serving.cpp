@@ -18,11 +18,13 @@
 // accelerator latency.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "hw/workload.h"
 #include "search/sweep.h"
 #include "serve/serving_sim.h"
 
@@ -80,6 +82,11 @@ main()
     const auto &systems = system_configs();
     std::vector<std::vector<ServingReport>> reports(
         scenarios.size(), std::vector<ServingReport>(systems.size()));
+    // Twin grid with attention & KV traffic priced (attn_pricing on):
+    // the same streams and knobs, plus the per-step K/V read cost of
+    // every cached token.
+    std::vector<std::vector<ServingReport>> attn_reports(
+        scenarios.size(), std::vector<ServingReport>(systems.size()));
 
     // The serving scenarios never build a Transformer: jobs only read
     // the hw layer, so the shared harness stays an empty shell and the
@@ -87,21 +94,26 @@ main()
     const DatasetSpec stream_tag{"request-stream", 1.0, base.seed, 0, 0};
     for (std::size_t s = 0; s < scenarios.size(); ++s) {
         for (std::size_t c = 0; c < systems.size(); ++c) {
-            ServingReport *out = &reports[s][c];
-            const AcceleratorConfig *system = &systems[c];
-            const Scenario *scen = &scenarios[s];
-            sweep.add(model, stream_tag,
-                      scen->label + "/" + system->name,
-                      [out, system, scen, &model, &base,
-                       &serving](SearchHarness &) {
-                          RequestStreamSpec spec = base;
-                          spec.arrival_rate = scen->arrival_rate;
-                          ServingOptions opts = serving;
-                          opts.tuple = tuple_for(*system);
-                          *out = simulate_serving(
-                              model, *system, tech16(),
-                              generate_requests(spec), opts);
-                      });
+            for (const bool attn : {false, true}) {
+                ServingReport *out =
+                    attn ? &attn_reports[s][c] : &reports[s][c];
+                const AcceleratorConfig *system = &systems[c];
+                const Scenario *scen = &scenarios[s];
+                sweep.add(model, stream_tag,
+                          scen->label + "/" + system->name +
+                              (attn ? "/attn" : ""),
+                          [out, system, scen, attn, &model, &base,
+                           &serving](SearchHarness &) {
+                              RequestStreamSpec spec = base;
+                              spec.arrival_rate = scen->arrival_rate;
+                              ServingOptions opts = serving;
+                              opts.tuple = tuple_for(*system);
+                              opts.attn_pricing = attn;
+                              *out = simulate_serving(
+                                  model, *system, tech16(),
+                                  generate_requests(spec), opts);
+                          });
+            }
         }
     }
     const SweepReport run_report = sweep.run();
@@ -143,6 +155,82 @@ main()
               "decode regime,\nwhere compressed activations shrink "
               "weight re-streaming and the gap widens on TTFT-heavy "
               "bursts.");
+
+    // --- The same grid with attention & KV traffic priced: every
+    // decode/prefill row additionally reads the K and V of its cached
+    // context from DRAM (FP32, all layers). The added term is
+    // format-independent — attention is an FP-FP pass outside the
+    // FP-INT datapaths — so it dilutes the GeMM-side speedups.
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        Table table({"system", "decode [ms/tok]", "out tok/s",
+                     "makespan [ms]", "attn [% cyc]", "KV read [GB]",
+                     "vs attn-off", "speedup"});
+        table.set_title("Serving " + scenarios[s].label +
+                        " with attention & KV traffic priced "
+                        "(attn_pricing on, same streams and knobs)");
+        double base_makespan = 0.0;
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            if (systems[c].name == "fp-fp") {
+                base_makespan = attn_reports[s][c].makespan_s;
+            }
+        }
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            const ServingReport &r = attn_reports[s][c];
+            const ServingReport &off = reports[s][c];
+            const double attn_pct =
+                r.total_cycles > 0
+                    ? 100.0 * static_cast<double>(r.attn_cycles) /
+                          static_cast<double>(r.total_cycles)
+                    : 0.0;
+            table.add_row(
+                {systems[c].name,
+                 fmt(r.mean_decode_s_per_token() * 1e3, 3),
+                 fmt(r.output_tokens_per_s(), 0),
+                 fmt(r.makespan_s * 1e3, 1), fmt(attn_pct, 2),
+                 fmt(static_cast<double>(r.kv_dram_bytes) / 1e9, 2),
+                 fmt_x(r.makespan_s / off.makespan_s, 3),
+                 fmt_x(base_makespan / r.makespan_s, 2)});
+        }
+        std::fputs(table.to_string().c_str(), stdout);
+        std::puts("");
+    }
+
+    // --- Decode step cost vs cached context: one batch-8 decode step
+    // priced at growing context lengths. GeMM-only pricing is context-
+    // free (the "flat" column); attention pricing adds the K/V read of
+    // every cached token, so the per-token cost grows with context.
+    {
+        const AcceleratorConfig &anda_sys = find_system("anda");
+        const PrecisionTuple tuple{8, 7, 7, 6};
+        Table table({"context [tok]", "GeMM-only [ms]", "+attn [ms]",
+                     "attn share [%]", "KV read [MB]"});
+        table.set_title("Batch-8 decode step cost vs cached context (" +
+                        model.name + " on anda, {8,7,7,6})");
+        for (const std::uint64_t context :
+             {std::uint64_t{128}, std::uint64_t{512},
+              std::uint64_t{1024}, std::uint64_t{2048},
+              std::uint64_t{4096}}) {
+            std::vector<SeqSlice> decode(8, SeqSlice{1, context});
+            const Workload w =
+                build_decode_workload(model, decode, tuple);
+            const SystemRun with_attn =
+                run_workload(anda_sys, tech16(), w);
+            const std::uint64_t gemm_cycles =
+                with_attn.cycles - with_attn.attn_cycles;
+            const double to_ms = 1e3 / tech16().clock_hz;
+            table.add_row(
+                {std::to_string(context),
+                 fmt(static_cast<double>(gemm_cycles) * to_ms, 3),
+                 fmt(static_cast<double>(with_attn.cycles) * to_ms, 3),
+                 fmt(100.0 *
+                         static_cast<double>(with_attn.attn_cycles) /
+                         static_cast<double>(with_attn.cycles),
+                     1),
+                 fmt(with_attn.kv_dram_bits / 8.0 / 1e6, 1)});
+        }
+        std::fputs(table.to_string().c_str(), stdout);
+        std::puts("");
+    }
     std::fputs(run_report.summary().c_str(), stdout);
 
     // --- Paged KV under overload: the same burst stream scheduled
@@ -278,8 +366,8 @@ main()
             {"youngest", EvictPolicy::kYoungest},
             {"lowest-priority", EvictPolicy::kLowestPriority},
         };
-        Table table({"evict policy", "class", "n", "ok", "drop",
-                     "shed", "TTFT p95 [ms]", "TTFT SLO [%]",
+        Table table({"evict policy", "attn", "class", "n", "ok",
+                     "drop", "shed", "TTFT p95 [ms]", "TTFT SLO [%]",
                      "deadline SLO [%]"});
         table.set_title(
             "Per-class SLO attainment under overload: " +
@@ -287,22 +375,28 @@ main()
             model.name + " at " + fmt(mix.arrival_rate, 2) +
             " req/s, paged swap, drop-unmeetable + 60 s shed");
         for (const EvictRow &row : evicts) {
-            ServingOptions opts = slo;
-            opts.evict = row.evict;
-            const ServingReport r =
-                simulate_serving(model, find_system("anda"), tech16(),
-                                 mix_requests, opts);
-            for (const ClassReport &c : r.by_class()) {
-                table.add_row(
-                    {row.label,
-                     class_names[c.priority], std::to_string(c.n),
-                     std::to_string(c.completed),
-                     std::to_string(c.dropped),
-                     std::to_string(c.shed),
-                     c.completed > 0 ? fmt(c.ttft_p95_s * 1e3, 1)
-                                     : "-",
-                     fmt(c.ttft_attainment() * 100.0, 1),
-                     fmt(c.deadline_attainment() * 100.0, 1)});
+            // The ±attn variants show SLO attainment under the full
+            // cost model: pricing attention stretches steps, so the
+            // same stream presses harder on the deadlines.
+            for (const bool attn : {false, true}) {
+                ServingOptions opts = slo;
+                opts.evict = row.evict;
+                opts.attn_pricing = attn;
+                const ServingReport r =
+                    simulate_serving(model, find_system("anda"),
+                                     tech16(), mix_requests, opts);
+                for (const ClassReport &c : r.by_class()) {
+                    table.add_row(
+                        {row.label, attn ? "on" : "off",
+                         class_names[c.priority], std::to_string(c.n),
+                         std::to_string(c.completed),
+                         std::to_string(c.dropped),
+                         std::to_string(c.shed),
+                         c.completed > 0 ? fmt(c.ttft_p95_s * 1e3, 1)
+                                         : "-",
+                         fmt(c.ttft_attainment() * 100.0, 1),
+                         fmt(c.deadline_attainment() * 100.0, 1)});
+                }
             }
         }
         std::fputs(table.to_string().c_str(), stdout);

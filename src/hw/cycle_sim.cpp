@@ -97,4 +97,52 @@ simulate_gemm(const AcceleratorConfig &config, const TechParams &tech,
     return res;
 }
 
+CycleSimResult
+simulate_attn(const AcceleratorConfig &config, const TechParams &tech,
+              const AttnOp &op)
+{
+    CycleSimResult res;
+    const double bw = tech.dram_bits_per_cycle();
+    const double macs_per_cycle =
+        static_cast<double>(config.mxu_units) * 64.0;
+    // K and V of one attended row, FP32 (analyze_attn's element
+    // width).
+    const double row_bits = 2.0 * static_cast<double>(op.d_model) * 32.0;
+    const double row_macs = 2.0 * static_cast<double>(op.d_model);
+
+    // Two double-buffered resources, as in simulate_gemm: the DMA
+    // streams 64-row K/V chunks while the MXU scores the previous
+    // chunk, so compute stalls only when rows are late.
+    double dma_free = 0.0;
+    double compute_free = 0.0;
+    std::uint64_t dma_busy = 0;
+    std::uint64_t compute_busy = 0;
+    std::uint64_t passes = 0;
+    for (std::uint64_t layer = 0; layer < op.n_layers; ++layer) {
+        std::uint64_t rows_left = op.kv_rows;
+        while (rows_left > 0) {
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(64, rows_left);
+            rows_left -= chunk;
+            const double xfer = std::ceil(
+                static_cast<double>(chunk) * row_bits / bw);
+            const double ready = dma_free + xfer;
+            dma_free = ready;
+            dma_busy += static_cast<std::uint64_t>(xfer);
+            const double start = std::max(compute_free, ready);
+            const double pass = std::ceil(
+                static_cast<double>(chunk) * row_macs / macs_per_cycle);
+            compute_free = start + pass;
+            compute_busy += static_cast<std::uint64_t>(pass);
+            ++passes;
+        }
+    }
+    res.cycles = static_cast<std::uint64_t>(
+        std::ceil(std::max(compute_free, dma_free)));
+    res.compute_busy = compute_busy;
+    res.dma_busy = dma_busy;
+    res.tile_passes = passes;
+    return res;
+}
+
 }  // namespace anda

@@ -30,4 +30,11 @@ CycleSimResult simulate_gemm(const AcceleratorConfig &config,
                              const TechParams &tech,
                              const GemmShape &shape, int act_mantissa);
 
+/// Simulates one attention pass at K/V-chunk granularity: per layer,
+/// the cached FP32 K/V rows DMA-stream in double-buffered chunks
+/// while the MXU consumes them at its peak MAC rate — validating
+/// analyze_attn's max(compute, dram) closed form.
+CycleSimResult simulate_attn(const AcceleratorConfig &config,
+                             const TechParams &tech, const AttnOp &op);
+
 }  // namespace anda

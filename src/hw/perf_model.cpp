@@ -19,6 +19,11 @@ ceil_div(std::uint64_t a, std::uint64_t b)
 /// of 128.
 constexpr double kWeightBitsPerElem = 4.0 + 16.0 / 128.0;
 
+/// Cached K/V element width: FP32, matching the accuracy substrate's
+/// KvCache and the serving simulator's priced swap rows (quantized KV
+/// storage is a separate roadmap item).
+constexpr double kKvBitsPerElem = 32.0;
+
 /// Throughput-normalization unit count: all systems have the same
 /// bit-level compute budget, so an x-bit bit-parallel datapath fits
 /// 16/x times more group engines.
@@ -146,6 +151,43 @@ analyze_gemm(const AcceleratorConfig &config, const TechParams &tech,
     return cost;
 }
 
+GemmCost
+analyze_attn(const AcceleratorConfig &config, const TechParams &tech,
+             const AttnOp &op)
+{
+    GemmCost cost;
+    const double rows = static_cast<double>(op.kv_rows);
+    const double dm = static_cast<double>(op.d_model);
+    const double layers = static_cast<double>(op.n_layers);
+
+    // Every attended row's K and V stream from DRAM each pass (a
+    // multi-thousand-row FP32 cache cannot stay on chip), passing once
+    // through the activation buffer on the way to the MXU.
+    cost.kv_dram_bits = 2.0 * rows * dm * kKvBitsPerElem * layers;
+    cost.act_sram_bits = cost.kv_dram_bits;
+
+    // QK^T and PV each cost d_model MACs per attended K/V row per
+    // layer (the llm/opcount.h convention). The MXU runs them at its
+    // peak bit-parallel rate — mxu_units engines x 64 MACs/cycle —
+    // identically on every system: attention operands are FP, outside
+    // the FP-INT datapaths, so no storage format shortens the pass.
+    const double macs = 2.0 * rows * dm * layers;
+    const double macs_per_cycle =
+        static_cast<double>(config.mxu_units) * 64.0;
+    cost.compute_cycles =
+        static_cast<std::uint64_t>(std::ceil(macs / macs_per_cycle));
+    cost.dram_cycles = static_cast<std::uint64_t>(
+        std::ceil(cost.kv_dram_bits / tech.dram_bits_per_cycle()));
+    cost.total_cycles = std::max(cost.compute_cycles, cost.dram_cycles);
+
+    const double cycle_s = 1.0 / tech.clock_hz;
+    cost.compute_energy_pj = static_cast<double>(cost.compute_cycles) *
+                             cycle_s * mxu_power_mw(config, tech) * 1e9;
+    cost.act_sram_energy_pj = cost.act_sram_bits * tech.sram_pj_per_bit;
+    cost.dram_energy_pj = cost.kv_dram_bits * tech.dram_pj_per_bit;
+    return cost;
+}
+
 SystemRun
 run_workload(const AcceleratorConfig &config, const TechParams &tech,
              const std::vector<GemmOp> &ops)
@@ -159,6 +201,23 @@ run_workload(const AcceleratorConfig &config, const TechParams &tech,
         run.bpc_energy_pj += c.bpc_energy_pj;
         run.act_sram_energy_pj += c.act_sram_energy_pj;
         run.wgt_sram_energy_pj += c.wgt_sram_energy_pj;
+        run.dram_energy_pj += c.dram_energy_pj;
+    }
+    return run;
+}
+
+SystemRun
+run_workload(const AcceleratorConfig &config, const TechParams &tech,
+             const Workload &workload)
+{
+    SystemRun run = run_workload(config, tech, workload.gemms);
+    for (const auto &op : workload.attns) {
+        const GemmCost c = analyze_attn(config, tech, op);
+        run.cycles += c.total_cycles;
+        run.attn_cycles += c.total_cycles;
+        run.kv_dram_bits += c.kv_dram_bits;
+        run.compute_energy_pj += c.compute_energy_pj;
+        run.act_sram_energy_pj += c.act_sram_energy_pj;
         run.dram_energy_pj += c.dram_energy_pj;
     }
     return run;

@@ -2,15 +2,20 @@
 
 /// @file
 /// Closed-form performance/energy model of one FP-INT GeMM on a
-/// configured accelerator, plus workload aggregation.
+/// configured accelerator, plus attention passes and workload
+/// aggregation.
 ///
 /// Dataflow (paper Sec. IV-D): output-stationary 16x16 tiles over
 /// 64-element reduction groups. A token-slice of the activation matrix
 /// stays resident in (half of) the activation buffer while the weights
 /// stream from DRAM once per slice, so compressed activations shrink
 /// *both* activation traffic and weight re-streaming. A tile pass
-/// costs `cycles_per_group` plane-cycles (Anda: M+1). The tile-level
-/// cycle simulator (cycle_sim.h) validates these formulas.
+/// costs `cycles_per_group` plane-cycles (Anda: M+1). Attention
+/// (AttnOp / analyze_attn) is priced separately: it is not an FP-INT
+/// tap — its operands are the FP32 cached K/V rows streamed from DRAM
+/// every step, so its cost scales with context length rather than
+/// weight volume. The tile-level cycle simulator (cycle_sim.h)
+/// validates both sets of formulas.
 
 #include <cstdint>
 #include <string>
@@ -37,7 +42,29 @@ struct GemmOp {
     std::string label;
 };
 
-/// Cost of one GeMM.
+/// One attention pass: `q_rows` new query rows of one sequence scored
+/// against its cached K/V context in every layer (the serving decode
+/// regime, Anda Sec. V). Unlike the FP-INT taps, attention has no
+/// weight stream — each step re-reads the sequence's cached K/V rows
+/// from DRAM, so the cost grows with context length and is identical
+/// across storage formats (K/V are cached as FP32; quantized KV is a
+/// separate roadmap item).
+struct AttnOp {
+    /// New query rows this pass (1 per decode step; the chunk length
+    /// for a prefill chunk).
+    std::uint64_t q_rows = 0;
+    /// Per-layer K/V rows attended, summed over the query rows. Each
+    /// query attends the cached prefix plus every earlier row of its
+    /// own chunk plus itself: q_rows * context + q_rows*(q_rows+1)/2
+    /// for a chunk appended to `context` already-cached rows
+    /// (attn_kv_rows in hw/workload.h computes exactly this).
+    std::uint64_t kv_rows = 0;
+    std::uint64_t d_model = 0;
+    std::uint64_t n_layers = 0;
+    std::string label;
+};
+
+/// Cost of one GeMM or attention pass.
 struct GemmCost {
     std::uint64_t compute_cycles = 0;
     std::uint64_t dram_cycles = 0;
@@ -46,6 +73,9 @@ struct GemmCost {
 
     double weight_dram_bits = 0;
     double act_dram_bits = 0;
+    /// Cached K/V rows streamed from DRAM (analyze_attn only; the
+    /// GeMM taps carry no KV traffic and leave it zero).
+    double kv_dram_bits = 0;
     double weight_sram_bits = 0;
     double act_sram_bits = 0;
 
@@ -64,12 +94,19 @@ struct GemmCost {
         return compute_energy_pj + bpc_energy_pj + sram_energy_pj() +
                dram_energy_pj;
     }
-    double dram_bits() const { return weight_dram_bits + act_dram_bits; }
+    double dram_bits() const
+    {
+        return weight_dram_bits + act_dram_bits + kv_dram_bits;
+    }
 };
 
 /// Aggregate over a workload.
 struct SystemRun {
     std::uint64_t cycles = 0;
+    /// Attention share of `cycles` and its KV DRAM traffic (both zero
+    /// for GeMM-only workloads — the legacy aggregate is unchanged).
+    std::uint64_t attn_cycles = 0;
+    double kv_dram_bits = 0;
     double compute_energy_pj = 0;
     double bpc_energy_pj = 0;
     double act_sram_energy_pj = 0;
@@ -110,9 +147,35 @@ GemmCost analyze_gemm(const AcceleratorConfig &config,
                       const TechParams &tech, const GemmShape &shape,
                       int act_mantissa);
 
+/// Analyzes one attention pass: score/value MACs (2 x d_model per
+/// attended K/V row per layer, the llm/opcount.h convention) against
+/// the DRAM stream of the FP32 cached K and V rows. Every system is
+/// priced at the same peak MAC throughput (mxu_units x 64 MACs/cycle)
+/// — attention is outside the FP-INT datapaths, so no activation
+/// format shortens it, which is exactly why long-context decode is
+/// memory-bound on every configuration.
+GemmCost analyze_attn(const AcceleratorConfig &config,
+                      const TechParams &tech, const AttnOp &op);
+
+/// A priced workload: the FP-INT GeMM taps plus (optionally) the
+/// attention passes of the step. The GeMM-only run_workload overload
+/// below is the legacy entry point and prices attention as absent.
+struct Workload {
+    std::vector<GemmOp> gemms;
+    std::vector<AttnOp> attns;
+};
+
 /// Runs a whole workload (sums costs; GeMMs execute back-to-back).
 SystemRun run_workload(const AcceleratorConfig &config,
                        const TechParams &tech,
                        const std::vector<GemmOp> &ops);
+
+/// Runs a workload with attention passes: the GeMM aggregate plus
+/// every AttnOp priced by analyze_attn, executed back-to-back. With
+/// `workload.attns` empty this is bit-identical to the GeMM-only
+/// overload.
+SystemRun run_workload(const AcceleratorConfig &config,
+                       const TechParams &tech,
+                       const Workload &workload);
 
 }  // namespace anda

@@ -33,7 +33,44 @@ build_token_workload(const ModelConfig &model, std::uint64_t tokens,
     return ops;
 }
 
+/// Summed scheduled rows of a slice list (the fused GeMM row count).
+std::uint64_t
+total_rows(std::span<const SeqSlice> slices)
+{
+    std::uint64_t total = 0;
+    for (const SeqSlice &s : slices) {
+        total += s.rows;
+    }
+    return total;
+}
+
 }  // namespace
+
+std::uint64_t
+attn_kv_rows(const SeqSlice &slice)
+{
+    return slice.rows * slice.context +
+           slice.rows * (slice.rows + 1) / 2;
+}
+
+std::vector<AttnOp>
+build_attn_ops(const ModelConfig &model,
+               std::span<const SeqSlice> slices, bool decode)
+{
+    const ModelDims &d = model.real;
+    std::vector<AttnOp> ops;
+    ops.reserve(slices.size());
+    const char *label = decode ? "attn-dec" : "attn";
+    for (const SeqSlice &s : slices) {
+        if (s.rows == 0) {
+            continue;
+        }
+        ops.push_back({s.rows, attn_kv_rows(s),
+                       static_cast<std::uint64_t>(d.d_model),
+                       static_cast<std::uint64_t>(d.n_layers), label});
+    }
+    return ops;
+}
 
 std::vector<GemmOp>
 build_prefill_workload(const ModelConfig &model, std::uint64_t seq,
@@ -47,6 +84,28 @@ build_decode_workload(const ModelConfig &model, std::uint64_t batch,
                       const PrecisionTuple &tuple)
 {
     return build_token_workload(model, batch, tuple, "-dec");
+}
+
+Workload
+build_prefill_workload(const ModelConfig &model,
+                       std::span<const SeqSlice> slices,
+                       const PrecisionTuple &tuple)
+{
+    Workload wl;
+    wl.gemms = build_prefill_workload(model, total_rows(slices), tuple);
+    wl.attns = build_attn_ops(model, slices, false);
+    return wl;
+}
+
+Workload
+build_decode_workload(const ModelConfig &model,
+                      std::span<const SeqSlice> slices,
+                      const PrecisionTuple &tuple)
+{
+    Workload wl;
+    wl.gemms = build_decode_workload(model, total_rows(slices), tuple);
+    wl.attns = build_attn_ops(model, slices, true);
+    return wl;
 }
 
 std::vector<GemmOp>

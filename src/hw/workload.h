@@ -1,12 +1,17 @@
 #pragma once
 
 /// @file
-/// Builds the FP-INT GeMM workloads of one model from the real model
-/// dimensions and a precision tuple: the prefill pass (batch 1, paper
-/// Sec. V-A system evaluation) and one decode step over a batch of
-/// concurrent sequences (the serving regime, where the GeMMs are
-/// short and memory-bound).
+/// Builds the workloads of one model from the real model dimensions
+/// and a precision tuple: the prefill pass (batch 1, paper Sec. V-A
+/// system evaluation) and one decode step over a batch of concurrent
+/// sequences (the serving regime, where the GeMMs are short and
+/// memory-bound). The GeMM-only overloads price the four FP-INT taps
+/// alone (the legacy model); the ragged SeqSlice overloads
+/// additionally carry one AttnOp per sequence, pricing the per-layer
+/// K/V reads of its cached context — the traffic that makes a
+/// 4k-context decode step more expensive than an 8-token one.
 
+#include <span>
 #include <vector>
 
 #include "hw/perf_model.h"
@@ -14,6 +19,25 @@
 #include "search/bops.h"
 
 namespace anda {
+
+/// Per-sequence occupancy of one ragged step: `rows` new tokens
+/// appended to a KV cache already holding `context` rows.
+struct SeqSlice {
+    std::uint64_t rows = 0;
+    std::uint64_t context = 0;
+};
+
+/// Per-layer K/V rows one slice attends: each of its `rows` queries
+/// attends the cached prefix plus every earlier row of the chunk plus
+/// itself — rows * context + rows*(rows+1)/2 (the t(t+1)/2 causal
+/// triangle of llm/opcount.h, offset by the cached context).
+std::uint64_t attn_kv_rows(const SeqSlice &slice);
+
+/// One AttnOp per non-empty slice, at the model's real dimensions.
+/// `decode` only picks the phase label ("attn-dec" vs "attn").
+std::vector<AttnOp> build_attn_ops(const ModelConfig &model,
+                                   std::span<const SeqSlice> slices,
+                                   bool decode);
 
 /// GeMM list of a prefill over `seq` tokens. The tuple assigns each
 /// module type's activation mantissa (pass {16,16,16,16} for FP16
@@ -26,13 +50,31 @@ std::vector<GemmOp> build_prefill_workload(const ModelConfig &model,
 /// GeMM list of one decode step advancing `batch` concurrent
 /// sequences by one token each. Every scheduled sequence contributes
 /// one activation row, so the four FP-INT taps see [batch x k]
-/// GeMMs — the same shapes as a `batch`-token prefill (attention /
-/// KV-cache traffic is not an FP-INT tap and is outside this model),
-/// but in the small-m, memory-bound regime the serving simulator
-/// (src/serve/) spends most of its steps in.
+/// GeMMs — the same tap shapes as a `batch`-token prefill — in the
+/// small-m, memory-bound regime the serving simulator (src/serve/)
+/// spends most of its steps in. This overload prices the taps alone;
+/// the SeqSlice overload below adds the per-sequence attention and
+/// KV-traffic cost on top.
 std::vector<GemmOp> build_decode_workload(const ModelConfig &model,
                                           std::uint64_t batch,
                                           const PrecisionTuple &tuple);
+
+/// Ragged prefill: one slice per sequence (`rows` scheduled prompt
+/// tokens over `context` already-cached rows). The GeMM taps fuse all
+/// rows — bit-identical to the aggregate overload at the summed row
+/// count — plus one AttnOp per slice for the causal attention over
+/// its cached context.
+Workload build_prefill_workload(const ModelConfig &model,
+                                std::span<const SeqSlice> slices,
+                                const PrecisionTuple &tuple);
+
+/// Ragged decode step: one slice per scheduled sequence (rows
+/// typically 1). GeMM taps identical to the aggregate overload at the
+/// summed row count; one AttnOp per slice prices its per-layer K/V
+/// reads of all cached tokens.
+Workload build_decode_workload(const ModelConfig &model,
+                               std::span<const SeqSlice> slices,
+                               const PrecisionTuple &tuple);
 
 /// Convenience: workload at the model's maximum sequence length.
 std::vector<GemmOp> build_max_seq_workload(const ModelConfig &model,

@@ -292,8 +292,17 @@ ServingReport::summary() const
             << swap_faults << " swap";
     }
     if (swap_bytes > 0) {
-        out << "; swapped " << swap_bytes << " B in "
-            << swap_stall_s * 1e3 << " ms";
+        out << "; swapped " << swap_bytes << " B ("
+            << swap_out_bytes << " out + " << swap_in_bytes
+            << " in) in " << swap_stall_s * 1e3 << " ms";
+    }
+    if (kv_dram_bytes > 0) {
+        out << "; attn "
+            << (total_cycles > 0
+                    ? 100.0 * static_cast<double>(attn_cycles) /
+                          static_cast<double>(total_cycles)
+                    : 0.0)
+            << "% of cycles, kv " << kv_dram_bytes << " B";
     }
     if (executed) {
         out << "; executed checksum " << std::hex
@@ -357,6 +366,33 @@ build_step_workload(const ModelConfig &model, std::size_t prefill_tokens,
                : build_prefill_workload(model, total, tuple);
 }
 
+Workload
+build_step_workload(const ModelConfig &model,
+                    std::span<const SeqSlice> prefill,
+                    std::span<const SeqSlice> decode,
+                    const PrecisionTuple &tuple)
+{
+    std::size_t prefill_tokens = 0;
+    std::size_t decode_tokens = 0;
+    for (const SeqSlice &s : prefill) {
+        prefill_tokens += s.rows;
+    }
+    for (const SeqSlice &s : decode) {
+        decode_tokens += s.rows;
+    }
+    Workload wl;
+    // The taps see the identical fused shapes the GeMM-only model
+    // prices — attention pricing only *adds* AttnOps on top.
+    wl.gemms =
+        build_step_workload(model, prefill_tokens, decode_tokens, tuple);
+    wl.attns = build_attn_ops(model, decode, true);
+    std::vector<AttnOp> pre = build_attn_ops(model, prefill, false);
+    wl.attns.insert(wl.attns.end(),
+                    std::make_move_iterator(pre.begin()),
+                    std::make_move_iterator(pre.end()));
+    return wl;
+}
+
 ServingReport
 simulate_serving(const ModelConfig &model,
                  const AcceleratorConfig &system, const TechParams &tech,
@@ -366,6 +402,8 @@ simulate_serving(const ModelConfig &model,
     ANDA_CHECK(!requests.empty(), "empty request stream");
     ANDA_CHECK(opts.max_batch > 0 && opts.max_step_tokens > 0,
                "zero serving batch or budget");
+    ANDA_CHECK(std::isfinite(opts.swap_gbps),
+               "non-finite swap bandwidth");
     ANDA_CHECK(opts.swap_gbps >= 0.0, "negative swap bandwidth");
     ANDA_CHECK(opts.shed_timeout_s >= 0.0, "negative shed timeout");
     const FaultInjector injector(opts.faults);  // Validates the spec.
@@ -462,6 +500,10 @@ simulate_serving(const ModelConfig &model,
 
     // Cheapest possible step (one decode token): the provable
     // per-emitted-token lower bound kDropUnmeetable tests against.
+    // Deliberately GeMM-only even under attn_pricing — attention only
+    // adds cost, so this stays a valid (looser) lower bound and the
+    // drop decision cannot become more aggressive than the legacy
+    // model's.
     double min_step_s = 0.0;
     if (opts.deadline_policy == DeadlinePolicy::kDropUnmeetable) {
         min_step_s =
@@ -563,7 +605,11 @@ simulate_serving(const ModelConfig &model,
         waiting.insert(pos, idx);
     };
     // Prices swap traffic onto the timeline (swap_gbps > 0 only).
-    const auto price_swap = [&](std::size_t rows) {
+    // Called on BOTH directions — at eviction (swap-out, from
+    // preempt_victim) and at readmission (swap-in) — so one preempt-
+    // readmit round trip stalls twice. GB here is decimal: 1 GB/s =
+    // 1e9 B/s (docs/SERVING.md documents the convention).
+    const auto price_swap = [&](std::size_t rows, bool swap_out) {
         if (opts.swap_gbps <= 0.0 || rows == 0) {
             return;
         }
@@ -572,7 +618,23 @@ simulate_serving(const ModelConfig &model,
         now += stall;
         pending_swap_stall += stall;
         report.swap_bytes += static_cast<std::uint64_t>(bytes);
+        (swap_out ? report.swap_out_bytes : report.swap_in_bytes) +=
+            static_cast<std::uint64_t>(bytes);
         report.swap_stall_s += stall;
+    };
+    // Samples the live resident-row total into the peak high-water
+    // mark. The post-step sample alone under-records: rows
+    // materialized between steps (swap-in restores, shared-prefix
+    // adoption at admission) can be preempted away by plan_step
+    // before the step is recorded, so a capacity planner reading only
+    // max-over-steps cache_tokens would budget below the true peak.
+    const auto note_resident_peak = [&]() {
+        std::size_t rows = 0;
+        for (const Running &r : running) {
+            rows += r.resident;
+        }
+        report.peak_cache_tokens =
+            std::max(report.peak_cache_tokens, rows);
     };
     // Retires a never-running request (waiting or preempted).
     const auto retire = [&](std::size_t idx, RequestOutcome oc) {
@@ -668,7 +730,7 @@ simulate_serving(const ModelConfig &model,
         if (opts.preempt == PreemptPolicy::kSwap) {
             p.swapped = true;
             p.swap = pcache[victim.idx]->swap_out();
-            price_swap(victim.resident);
+            price_swap(victim.resident, true);
         } else {
             pcache[victim.idx]->release_all();
         }
@@ -756,6 +818,38 @@ simulate_serving(const ModelConfig &model,
                        "budget");
             preempt_victim(step_preempts);
         }
+    };
+
+    // Prices one planned step. With attn_pricing each scheduled
+    // sequence contributes a SeqSlice over its cached context (decode
+    // rows and prefill chunks alike — a recompute-readmitted prefill
+    // restarts at context 0, so its re-attention is priced again,
+    // matching the recompute-costs-compute policy). Without it, the
+    // legacy GeMM-only aggregate is priced bit-identically to the
+    // pre-attention model.
+    const auto price_step = [&](const StepPlan &plan) {
+        if (!opts.attn_pricing) {
+            return run_workload(
+                system, tech,
+                build_step_workload(model, plan.prefill_tokens,
+                                    plan.decode_tokens, opts.tuple));
+        }
+        std::vector<SeqSlice> prefill;
+        std::vector<SeqSlice> decode;
+        for (std::size_t i = 0; i < running.size(); ++i) {
+            const Running &r = running[i];
+            if (r.remaining_prefill == 0) {
+                decode.push_back(
+                    {1, static_cast<std::uint64_t>(r.resident)});
+            } else if (plan.chunk[i] > 0) {
+                prefill.push_back(
+                    {static_cast<std::uint64_t>(plan.chunk[i]),
+                     static_cast<std::uint64_t>(r.resident)});
+            }
+        }
+        return run_workload(
+            system, tech,
+            build_step_workload(model, prefill, decode, opts.tuple));
     };
 
     while (next < queue.size() || !waiting.empty() ||
@@ -856,7 +950,7 @@ simulate_serving(const ModelConfig &model,
             }
             if (p.swapped) {
                 pcache[p.idx]->swap_in(p.swap, p.resident);
-                price_swap(p.resident);
+                price_swap(p.resident, false);
                 running.push_back({p.idx, p.remaining_prefill,
                                    p.remaining_output, p.resident});
             } else {
@@ -941,6 +1035,10 @@ simulate_serving(const ModelConfig &model,
             }
             waiting.erase(waiting.begin());
         }
+        // Swap-ins and prefix adoptions above materialized rows that
+        // a same-round preemption (plan_step below) may free again
+        // before the step records — capture the transient peak now.
+        note_resident_peak();
         if (running.empty()) {
             // Everything arrived was dropped or shed; nothing to run.
             ANDA_CHECK(waiting.empty(),
@@ -967,10 +1065,9 @@ simulate_serving(const ModelConfig &model,
         bool abandoned = false;
         const std::uint64_t site = fault_site++;
         for (std::size_t attempt = 0;; ++attempt) {
-            run = run_workload(
-                system, tech,
-                build_step_workload(model, plan.prefill_tokens,
-                                    plan.decode_tokens, opts.tuple));
+            // Repriced per attempt: a retry can have replanned after
+            // terminal failures, changing both rows and contexts.
+            run = price_step(plan);
             if (!faults_on ||
                 !injector.step_attempt_fails(site, attempt)) {
                 break;
@@ -1043,6 +1140,11 @@ simulate_serving(const ModelConfig &model,
         step.fault_retries = pending_fault_retries;
         step.failed = pending_failed;
         step.swap_stall_s = pending_swap_stall;
+        step.attn_cycles = run.attn_cycles;
+        step.kv_bytes =
+            static_cast<std::uint64_t>(run.kv_dram_bits / 8.0);
+        report.attn_cycles += step.attn_cycles;
+        report.kv_dram_bytes += step.kv_bytes;
         pending_drops = 0;
         pending_sheds = 0;
         pending_preempts = 0;

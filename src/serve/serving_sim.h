@@ -12,6 +12,12 @@
 /// the accuracy substrate — so the step cost comes from one
 /// run_workload() call over model-shaped FP-INT GeMMs at the step's
 /// total token count (build_prefill_workload / build_decode_workload).
+/// With ServingOptions::attn_pricing the step additionally prices
+/// per-request attention: one AttnOp per scheduled sequence carrying
+/// the per-layer K/V reads of its cached context, so long-context
+/// decode steps cost more than short ones (docs/SERVING.md, "Attention
+/// & KV traffic model"). Off (the default), costs are bit-identical
+/// to the GeMM-only model.
 /// The report carries per-request TTFT / decode latency and aggregate
 /// throughput, plus a per-step log so tests can replay and cross-check
 /// every cost and token-conservation invariant bit-for-bit.
@@ -190,12 +196,19 @@ struct ServingOptions {
     /// competing until preemption thrashes. Higher classes never shed
     /// while a lower class is waiting.
     double shed_timeout_s = 0.0;
-    /// Host-link bandwidth pricing kSwap traffic [GB/s]. 0 (default)
-    /// keeps swaps free and step logs bit-identical to pre-pricing
-    /// runs; > 0 stalls the timeline by bytes_per_row x rows moved on
-    /// every swap-out and swap-in (bytes_per_row = 2 tensors x
-    /// real n_layers x real d_model x 4 B, the priced FP32 KV row).
+    /// Host-link bandwidth pricing kSwap traffic [GB/s, 1 GB = 1e9 B].
+    /// 0 (default) keeps swaps free and step logs bit-identical to
+    /// pre-pricing runs; > 0 stalls the timeline by bytes_per_row x
+    /// rows moved on every swap-out and swap-in (bytes_per_row = 2
+    /// tensors x real n_layers x real d_model x 4 B, the priced FP32
+    /// KV row). Must be finite.
     double swap_gbps = 0.0;
+    /// Price per-request attention and KV-cache DRAM traffic into
+    /// every step (one AttnOp per scheduled sequence over its cached
+    /// context — see hw/workload.h). Off (default) reproduces the
+    /// GeMM-only cost model bit-for-bit: step logs, cycles, and every
+    /// scheduling decision are identical to pre-attention runs.
+    bool attn_pricing = false;
     /// Fault injection (default: inert). See serve/fault.h.
     FaultSpec faults;
 };
@@ -282,6 +295,10 @@ struct ServingStep {
     std::size_t failed = 0;
     /// Host-link stall priced into this step's span (swap_gbps > 0).
     double swap_stall_s = 0.0;
+    /// Attention share of `cycles` and the cached K/V bytes the step
+    /// streamed from DRAM (attn_pricing only; otherwise both zero).
+    std::uint64_t attn_cycles = 0;
+    std::uint64_t kv_bytes = 0;
 };
 
 /// Outcome of one simulated serving run.
@@ -295,10 +312,14 @@ struct ServingReport {
     std::size_t total_prompt_tokens = 0;
     std::size_t total_output_tokens = 0;
     std::size_t peak_batch = 0;
-    /// Maximum of ServingStep::cache_tokens over the run (the KV
-    /// memory high-water mark a capacity planner budgets against;
-    /// under kSlabPrompt it can exceed max_cache_tokens — the
-    /// overshoot the paged policy eliminates).
+    /// KV-row high-water mark of the run (the quantity a capacity
+    /// planner budgets against; under kSlabPrompt it can exceed
+    /// max_cache_tokens — the overshoot the paged policy eliminates).
+    /// Sampled after every step *and* after between-step row
+    /// materialization (swap-in restores, shared-prefix adoption), so
+    /// a transient that a same-round preemption undoes before the
+    /// step records still registers: peak_cache_tokens >= the maximum
+    /// of ServingStep::cache_tokens, not always equal under kPaged.
     std::size_t peak_cache_tokens = 0;
     /// True when the run executed generation (tokens are populated).
     bool executed = false;
@@ -324,9 +345,20 @@ struct ServingReport {
     std::size_t step_faults = 0;  ///< Failed accelerator attempts.
     std::size_t swap_faults = 0;  ///< Swap-ins fallen back to recompute.
     std::uint64_t wasted_cycles = 0;  ///< Cycles of failed attempts.
-    /// Priced swap traffic (swap_gbps > 0; otherwise both zero).
+    /// Priced swap traffic (swap_gbps > 0; otherwise all zero).
+    /// Both directions are charged: swap_bytes == swap_out_bytes +
+    /// swap_in_bytes always.
     std::uint64_t swap_bytes = 0;
+    std::uint64_t swap_out_bytes = 0;
+    std::uint64_t swap_in_bytes = 0;
     double swap_stall_s = 0.0;
+    /// Attention pricing totals (attn_pricing only; otherwise zero).
+    /// attn_cycles is included in total_cycles; kv_dram_bytes is the
+    /// cached K/V traffic summed over steps — on a fault-free run,
+    /// Σ(per-layer K/V bytes x attended rows) over every scheduled
+    /// sequence and step.
+    std::uint64_t attn_cycles = 0;
+    std::uint64_t kv_dram_bytes = 0;
 
     /// Generated tokens per second over the makespan.
     double output_tokens_per_s() const;
@@ -403,6 +435,16 @@ std::vector<GemmOp> build_step_workload(const ModelConfig &model,
                                         std::size_t prefill_tokens,
                                         std::size_t decode_tokens,
                                         const PrecisionTuple &tuple);
+
+/// The ragged step workload attention pricing uses: GeMM taps
+/// identical to the aggregate overload at the summed row counts, plus
+/// one AttnOp per scheduled sequence (prefill chunks and decode rows)
+/// over its cached context. Exposed so tests and replay tools can
+/// reprice a step from its slice lists bit-for-bit.
+Workload build_step_workload(const ModelConfig &model,
+                             std::span<const SeqSlice> prefill,
+                             std::span<const SeqSlice> decode,
+                             const PrecisionTuple &tuple);
 
 /// The deterministic synthetic prompt execution mode feeds request
 /// `id`: BOS (0) followed by uniform tokens from the executor's sim

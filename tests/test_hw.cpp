@@ -288,6 +288,169 @@ TEST(CycleSim, DegenerateShapesStayWithinPipelineConstants)
     }
 }
 
+TEST(PerfModel, AttnCostFormula)
+{
+    const auto &tech = tech16();
+    // 4 query rows appended to a 1000-row cache: each attends the
+    // prefix plus the causal triangle of its own chunk.
+    const AttnOp op{4, 4 * 1000 + 4 * 5 / 2, 4096, 32, "attn"};
+    std::uint64_t first_total = 0;
+    for (const auto &cfg : system_configs()) {
+        const GemmCost c = analyze_attn(cfg, tech, op);
+        // K and V of every attended row, FP32, once per layer.
+        const double kv_bits = 2.0 * static_cast<double>(op.kv_rows) *
+                               4096.0 * 32.0 * 32.0;
+        EXPECT_DOUBLE_EQ(c.kv_dram_bits, kv_bits) << cfg.name;
+        EXPECT_DOUBLE_EQ(c.dram_bits(), kv_bits) << cfg.name;
+        EXPECT_DOUBLE_EQ(c.weight_dram_bits, 0.0) << cfg.name;
+        const double macs = 2.0 *
+                            static_cast<double>(op.kv_rows) * 4096.0 *
+                            32.0;
+        EXPECT_EQ(c.compute_cycles,
+                  static_cast<std::uint64_t>(std::ceil(
+                      macs / (cfg.mxu_units * 64.0))))
+            << cfg.name;
+        EXPECT_EQ(c.dram_cycles,
+                  static_cast<std::uint64_t>(std::ceil(
+                      kv_bits / tech.dram_bits_per_cycle())))
+            << cfg.name;
+        EXPECT_EQ(c.total_cycles,
+                  std::max(c.compute_cycles, c.dram_cycles))
+            << cfg.name;
+        EXPECT_NEAR(c.total_energy_pj(),
+                    c.compute_energy_pj + c.act_sram_energy_pj +
+                        c.dram_energy_pj,
+                    1e-6 * c.total_energy_pj())
+            << cfg.name;
+        // Attention is outside the FP-INT datapaths: every system
+        // pays the identical latency — no format shortens it.
+        if (first_total == 0) {
+            first_total = c.total_cycles;
+        }
+        EXPECT_EQ(c.total_cycles, first_total) << cfg.name;
+    }
+}
+
+TEST(Workload, RaggedBuildersCarryAttnOps)
+{
+    const auto &m = find_model("llama-7b");
+    const PrecisionTuple tuple{9, 8, 8, 7};
+    // attn_kv_rows: cached context plus the causal chunk triangle.
+    EXPECT_EQ(attn_kv_rows({1, 10}), 11u);
+    EXPECT_EQ(attn_kv_rows({1, 0}), 1u);
+    EXPECT_EQ(attn_kv_rows({3, 7}), 3u * 7u + 6u);
+    EXPECT_EQ(attn_kv_rows({0, 99}), 0u);
+    const std::vector<SeqSlice> slices = {{1, 10}, {1, 0}, {3, 7}};
+    const Workload dec = build_decode_workload(m, slices, tuple);
+    // GeMM taps identical to the aggregate overload at the summed
+    // row count (5 rows).
+    const auto agg = build_decode_workload(m, 5, tuple);
+    ASSERT_EQ(dec.gemms.size(), agg.size());
+    for (std::size_t i = 0; i < agg.size(); ++i) {
+        EXPECT_EQ(dec.gemms[i].shape.tokens, agg[i].shape.tokens);
+        EXPECT_EQ(dec.gemms[i].shape.k, agg[i].shape.k);
+        EXPECT_EQ(dec.gemms[i].shape.n, agg[i].shape.n);
+        EXPECT_EQ(dec.gemms[i].label, agg[i].label);
+    }
+    // One AttnOp per sequence at the model's real dimensions.
+    ASSERT_EQ(dec.attns.size(), 3u);
+    EXPECT_EQ(dec.attns[0].kv_rows, 11u);
+    EXPECT_EQ(dec.attns[0].label, "attn-dec");
+    EXPECT_EQ(dec.attns[2].q_rows, 3u);
+    EXPECT_EQ(dec.attns[2].kv_rows, 27u);
+    EXPECT_EQ(dec.attns[2].d_model,
+              static_cast<std::uint64_t>(m.real.d_model));
+    EXPECT_EQ(dec.attns[2].n_layers,
+              static_cast<std::uint64_t>(m.real.n_layers));
+    const Workload pre = build_prefill_workload(m, slices, tuple);
+    EXPECT_EQ(pre.attns[0].label, "attn");
+    // Zero-row slices contribute no op.
+    const std::vector<SeqSlice> with_zero = {{0, 50}, {2, 3}};
+    EXPECT_EQ(build_decode_workload(m, with_zero, tuple).attns.size(),
+              1u);
+}
+
+TEST(PerfModel, WorkloadOverloadMatchesGemmOnlyWhenAttnEmpty)
+{
+    const auto &tech = tech16();
+    const auto &m = find_model("llama-7b");
+    Workload wl;
+    wl.gemms = build_decode_workload(m, 8, {8, 7, 7, 6});
+    for (const auto &cfg : system_configs()) {
+        const SystemRun plain = run_workload(cfg, tech, wl.gemms);
+        const SystemRun via = run_workload(cfg, tech, wl);
+        EXPECT_EQ(via.cycles, plain.cycles) << cfg.name;
+        EXPECT_EQ(via.attn_cycles, 0u) << cfg.name;
+        EXPECT_DOUBLE_EQ(via.kv_dram_bits, 0.0) << cfg.name;
+        EXPECT_DOUBLE_EQ(via.total_energy_pj(), plain.total_energy_pj())
+            << cfg.name;
+    }
+    // With attention the aggregate splits exactly: cycles = GeMM
+    // cycles + attn_cycles, kv bits = Σ analyze_attn.
+    const std::vector<SeqSlice> slices(8, SeqSlice{1, 512});
+    const Workload attn = build_decode_workload(m, slices, {8, 7, 7, 6});
+    const auto &anda = find_system("anda");
+    const SystemRun gemm_only = run_workload(anda, tech, attn.gemms);
+    const SystemRun full = run_workload(anda, tech, attn);
+    EXPECT_EQ(full.cycles, gemm_only.cycles + full.attn_cycles);
+    EXPECT_GT(full.attn_cycles, 0u);
+    double kv_bits = 0.0;
+    std::uint64_t attn_cycles = 0;
+    for (const AttnOp &op : attn.attns) {
+        const GemmCost c = analyze_attn(anda, tech, op);
+        kv_bits += c.kv_dram_bits;
+        attn_cycles += c.total_cycles;
+    }
+    EXPECT_DOUBLE_EQ(full.kv_dram_bits, kv_bits);
+    EXPECT_EQ(full.attn_cycles, attn_cycles);
+}
+
+TEST(PerfModel, DecodeStepCostGrowsWithContext)
+{
+    // The bugfix this model exists for: a batch-8 decode step must
+    // get strictly more expensive as the cached context grows (the
+    // GeMM-only model priced every context identically).
+    const auto &tech = tech16();
+    const auto &m = find_model("llama-7b");
+    for (const auto &cfg : system_configs()) {
+        std::uint64_t prev = 0;
+        for (const std::uint64_t ctx :
+             {0ull, 64ull, 512ull, 2048ull, 4096ull}) {
+            const std::vector<SeqSlice> slices(8, SeqSlice{1, ctx});
+            const SystemRun run = run_workload(
+                cfg, tech, build_decode_workload(m, slices, {8, 7, 7, 6}));
+            EXPECT_GT(run.cycles, prev) << cfg.name << " ctx=" << ctx;
+            prev = run.cycles;
+        }
+    }
+}
+
+TEST(CycleSim, MatchesClosedFormOnAttention)
+{
+    const auto &tech = tech16();
+    const std::vector<AttnOp> ops = {
+        {1, 1, 64, 1, "a"},        // Minimal everything.
+        {1, 129, 4096, 32, "b"},   // Short-context decode row.
+        {1, 4096, 4096, 32, "c"},  // Max-context decode row.
+        {8, 16100, 5120, 40, "d"}, // Ragged prefill chunk.
+    };
+    for (const auto &cfg : system_configs()) {
+        for (const auto &op : ops) {
+            const auto cf = analyze_attn(cfg, tech, op);
+            const auto cs = simulate_attn(cfg, tech, op);
+            // Per-chunk transfer/pass ceils only inflate, so the
+            // event walk bounds the closed form from above within
+            // one cycle per chunk.
+            EXPECT_GE(cs.cycles, cf.total_cycles)
+                << cfg.name << " " << op.label;
+            EXPECT_LE(cs.cycles,
+                      cf.total_cycles + 64 + cf.total_cycles / 100)
+                << cfg.name << " " << op.label;
+            EXPECT_GT(cs.tile_passes, 0u);
+        }
+    }
+}
+
 TEST(Area, AndaSmallerThanFpFpSystem)
 {
     const double anda = system_area_mm2(find_system("anda"));

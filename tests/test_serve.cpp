@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 #include "serve_test_util.h"
 
@@ -709,11 +710,17 @@ expect_same_run(const ServingReport &a, const ServingReport &b)
         EXPECT_EQ(x.fault_retries, y.fault_retries) << "step " << i;
         EXPECT_EQ(x.failed, y.failed) << "step " << i;
         EXPECT_EQ(x.swap_stall_s, y.swap_stall_s) << "step " << i;
+        EXPECT_EQ(x.attn_cycles, y.attn_cycles) << "step " << i;
+        EXPECT_EQ(x.kv_bytes, y.kv_bytes) << "step " << i;
     }
     EXPECT_EQ(a.makespan_s, b.makespan_s);
     EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.attn_cycles, b.attn_cycles);
+    EXPECT_EQ(a.kv_dram_bytes, b.kv_dram_bytes);
     EXPECT_EQ(a.preemptions, b.preemptions);
     EXPECT_EQ(a.readmits, b.readmits);
+    EXPECT_EQ(a.swap_out_bytes, b.swap_out_bytes);
+    EXPECT_EQ(a.swap_in_bytes, b.swap_in_bytes);
     EXPECT_EQ(a.summary(), b.summary());
 }
 
@@ -1096,6 +1103,213 @@ TEST_F(ServingSimTest, SwapTrafficPricingStretchesMakespan)
         static_cast<std::uint64_t>(dims.d_model);
     EXPECT_EQ(b.swap_bytes % row, 0u);
     EXPECT_NE(b.summary().find("swapped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Attention & KV-traffic pricing (ServingOptions::attn_pricing).
+
+TEST_F(ServingSimTest, AttnPricingOffReproducesGemmOnlyCostsBitExactly)
+{
+    // The acceptance bar of the attention bugfix: with the knob at
+    // its default every step cost replays as the legacy GeMM-only
+    // aggregate workload bit-for-bit, and no attention accounting
+    // leaks into the report or summary.
+    ServingOptions opts;
+    opts.max_batch = 4;
+    opts.max_step_tokens = 64;
+    opts.tuple = {8, 7, 7, 6};
+    const ServingReport base = run(opts, small_spec());
+    EXPECT_EQ(base.attn_cycles, 0u);
+    EXPECT_EQ(base.kv_dram_bytes, 0u);
+    for (const auto &s : base.steps) {
+        EXPECT_EQ(s.attn_cycles, 0u);
+        EXPECT_EQ(s.kv_bytes, 0u);
+        const SystemRun replay = run_workload(
+            find_system("anda"), tech16(),
+            build_step_workload(find_model("llama-7b"),
+                                s.prefill_tokens, s.decode_tokens,
+                                opts.tuple));
+        EXPECT_EQ(s.cycles, replay.cycles);
+    }
+    EXPECT_EQ(base.summary().find("attn"), std::string::npos);
+    // An explicit false is exactly the default.
+    ServingOptions off = opts;
+    off.attn_pricing = false;
+    expect_same_run(run(off, small_spec()), base);
+}
+
+TEST_F(ServingSimTest, AttnPricingAddsContextCostOnTopOfGemmTaps)
+{
+    // Burst traffic (scheduling is then time-independent): attention
+    // pricing must keep the token plan identical and only add cost —
+    // every step exactly its GeMM cycles plus its attention cycles.
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    ServingOptions off;
+    off.max_batch = 4;
+    off.max_step_tokens = 64;
+    off.tuple = {8, 7, 7, 6};
+    ServingOptions on = off;
+    on.attn_pricing = true;
+    const ServingReport a = run(off, spec);
+    const ServingReport b = run(on, spec);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    std::uint64_t attn = 0;
+    std::uint64_t kv = 0;
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+        EXPECT_EQ(b.steps[i].prefill_tokens, a.steps[i].prefill_tokens)
+            << "step " << i;
+        EXPECT_EQ(b.steps[i].decode_tokens, a.steps[i].decode_tokens)
+            << "step " << i;
+        EXPECT_EQ(b.steps[i].cycles,
+                  a.steps[i].cycles + b.steps[i].attn_cycles)
+            << "step " << i;
+        // Every scheduled row attends >= 1 K/V row.
+        EXPECT_GT(b.steps[i].attn_cycles, 0u) << "step " << i;
+        EXPECT_GT(b.steps[i].kv_bytes, 0u) << "step " << i;
+        attn += b.steps[i].attn_cycles;
+        kv += b.steps[i].kv_bytes;
+    }
+    EXPECT_EQ(b.attn_cycles, attn);
+    EXPECT_EQ(b.kv_dram_bytes, kv);
+    EXPECT_EQ(b.total_cycles, a.total_cycles + attn);
+    EXPECT_GT(b.makespan_s, a.makespan_s);
+    EXPECT_NE(b.summary().find("attn"), std::string::npos);
+}
+
+TEST_F(ServingSimTest, KvTrafficMatchesHandComputedTrace)
+{
+    // Two burst requests, generous budgets: the schedule is exactly
+    // one joint prefill step then three decode steps, so every
+    // attended K/V row count is hand-computable.
+    const std::vector<Request> reqs = {
+        {0, 0.0, 6, 3, 0, 0.0, 0.0},
+        {1, 0.0, 9, 4, 0, 0.0, 0.0},
+    };
+    ServingOptions opts;
+    opts.max_batch = 2;
+    opts.max_step_tokens = 32;
+    opts.tuple = {8, 7, 7, 6};
+    opts.attn_pricing = true;
+    const ServingReport r =
+        simulate_serving(find_model("llama-7b"), find_system("anda"),
+                         tech16(), reqs, opts);
+    ASSERT_EQ(r.steps.size(), 4u);
+    EXPECT_EQ(r.steps[0].prefill_tokens, 15u);
+    EXPECT_EQ(r.steps[0].decode_tokens, 0u);
+    EXPECT_EQ(r.steps[1].decode_tokens, 2u);
+    EXPECT_EQ(r.steps[2].decode_tokens, 2u);
+    EXPECT_EQ(r.steps[3].decode_tokens, 1u);
+    // Attended rows per step: the prefill triangles 6*7/2 + 9*10/2,
+    // then ragged decode rows over contexts (6,9), (7,10), (11).
+    const std::uint64_t kv_rows[4] = {21 + 45, 7 + 10, 8 + 11, 12};
+    // One attended row streams K and V at FP32 in every layer:
+    // 2 x 4 B x d_model x n_layers — the same row the swap pricing
+    // moves.
+    const auto &d = find_model("llama-7b").real;
+    const std::uint64_t row_bytes =
+        8ull * static_cast<std::uint64_t>(d.n_layers) *
+        static_cast<std::uint64_t>(d.d_model);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(r.steps[i].kv_bytes, kv_rows[i] * row_bytes)
+            << "step " << i;
+        total += r.steps[i].kv_bytes;
+    }
+    EXPECT_EQ(r.kv_dram_bytes, total);
+    EXPECT_EQ(r.kv_dram_bytes, (21u + 45 + 7 + 10 + 8 + 11 + 12) *
+                                   row_bytes);
+}
+
+TEST_F(ServingExecutionTest, AttnPricingKeepsExecutionParityAndTokens)
+{
+    // Priced and executed runs must stay bit-identical with attention
+    // pricing on — including the new attention fields — and pricing
+    // attention must not move one emitted token.
+    ServingOptions on = exec_opts();
+    on.attn_pricing = true;
+    const ServingReport executed = run(on);
+    EXPECT_GT(executed.attn_cycles, 0u);
+    EXPECT_GT(executed.kv_dram_bytes, 0u);
+    ServingOptions priced = on;
+    priced.executor = nullptr;
+    const ServingReport twin =
+        serve_test::run_executed(priced, exec_spec());
+    // Field-by-field parity; the summaries differ only by the
+    // executed-checksum segment, so compare them with it stripped.
+    std::string a_sum = executed.summary();
+    a_sum.resize(a_sum.find("; executed checksum"));
+    std::string b_sum = twin.summary();
+    b_sum.resize(b_sum.find('\n'));
+    EXPECT_EQ(a_sum, b_sum);
+    ASSERT_EQ(executed.steps.size(), twin.steps.size());
+    for (std::size_t i = 0; i < executed.steps.size(); ++i) {
+        EXPECT_EQ(executed.steps[i].cycles, twin.steps[i].cycles);
+        EXPECT_EQ(executed.steps[i].attn_cycles,
+                  twin.steps[i].attn_cycles);
+        EXPECT_EQ(executed.steps[i].kv_bytes, twin.steps[i].kv_bytes);
+        EXPECT_EQ(executed.steps[i].cache_tokens,
+                  twin.steps[i].cache_tokens);
+    }
+    EXPECT_EQ(executed.makespan_s, twin.makespan_s);
+    EXPECT_EQ(executed.total_cycles, twin.total_cycles);
+    EXPECT_EQ(executed.attn_cycles, twin.attn_cycles);
+    EXPECT_EQ(executed.kv_dram_bytes, twin.kv_dram_bytes);
+    const ServingReport off = run(exec_opts());
+    ASSERT_EQ(executed.requests.size(), off.requests.size());
+    for (std::size_t i = 0; i < off.requests.size(); ++i) {
+        EXPECT_EQ(executed.requests[i].tokens, off.requests[i].tokens)
+            << "id=" << off.requests[i].id;
+    }
+}
+
+TEST_F(ServingSimTest, SwapChargesBothDirections)
+{
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    ServingOptions opts = paged_opts();
+    opts.preempt = PreemptPolicy::kSwap;
+    opts.swap_gbps = 10.0;
+    const ServingReport r = run(opts, spec);
+    ASSERT_GE(r.preemptions, 1u);
+    EXPECT_GT(r.swap_out_bytes, 0u);
+    EXPECT_GT(r.swap_in_bytes, 0u);
+    EXPECT_EQ(r.swap_bytes, r.swap_out_bytes + r.swap_in_bytes);
+    // Fault-free burst: every swapped-out residency swaps back in at
+    // the same row count, so the directions balance exactly.
+    EXPECT_EQ(r.swap_out_bytes, r.swap_in_bytes);
+    EXPECT_NE(r.summary().find(" out + "), std::string::npos);
+    // Non-finite bandwidths are rejected up front.
+    ServingOptions bad = opts;
+    bad.swap_gbps = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(run(bad, spec), std::invalid_argument);
+    bad.swap_gbps = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(run(bad, spec), std::invalid_argument);
+}
+
+TEST_F(ServingSimTest, PeakCacheTokensSeesBetweenStepSwapInTransient)
+{
+    // Regression: peak_cache_tokens used to be sampled only at step
+    // emission, so residency materialized between steps (swap-in
+    // restores, prefix adoptions) that a same-step completion released
+    // again was never recorded. Under swap thrash the true high-water
+    // mark exceeds every step-end occupancy; the budget bound must
+    // still hold for it.
+    RequestStreamSpec spec = small_spec();
+    spec.arrival_rate = 0.0;
+    ServingOptions opts = paged_opts(14);
+    opts.preempt = PreemptPolicy::kSwap;
+    const ServingReport r = run(opts, spec);
+    ASSERT_GE(r.preemptions, 1u);
+    std::size_t max_step = 0;
+    for (const auto &s : r.steps) {
+        max_step = std::max(max_step, s.cache_tokens);
+    }
+    EXPECT_GE(r.peak_cache_tokens, max_step);
+    // This configuration exhibits the transient: restored rows peak
+    // between steps. The old sampling reported max_step exactly.
+    EXPECT_GT(r.peak_cache_tokens, max_step);
+    EXPECT_LE(r.peak_cache_tokens, opts.page_budget * opts.page_size);
 }
 
 TEST_F(ServingExecutionTest, SurvivableFaultsKeepTokensIdentical)

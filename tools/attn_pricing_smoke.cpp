@@ -1,0 +1,164 @@
+// Smoke test of attention & KV-traffic pricing in the serving cost
+// model, verified four ways:
+//  * default-off bit-identity — with attn_pricing at its default the
+//    run carries zero attention cycles and KV bytes, and an
+//    explicitly-disabled run replays it summary-for-summary;
+//  * additivity — the attention-priced burst run schedules the exact
+//    same token plan and every step costs its GeMM cycles plus its
+//    attention cycles, nothing else;
+//  * context ordering — the priced per-token decode step cost grows
+//    strictly with the cached context (the signature the GeMM-only
+//    model missed: decode cost there is context-free);
+//  * determinism — the attention-priced run replays itself.
+// Registered as the `attn_pricing_smoke` ctest so the attention path
+// runs under the sanitizer CI lanes; writes
+// attn_pricing_smoke_summary.txt (uploaded as a CI artifact).
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hw/perf_model.h"
+#include "hw/workload.h"
+#include "serve/serving_sim.h"
+
+namespace {
+
+int g_failures = 0;
+
+void
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "FAIL %s\n", what.c_str());
+    ++g_failures;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace anda;
+
+    const ModelConfig &model = find_model("llama-7b");
+    const AcceleratorConfig &system = find_system("anda");
+
+    RequestStreamSpec spec;
+    spec.seed = 5566;
+    spec.n_requests = 16;
+    spec.arrival_rate = 0.0;  // Burst: time-independent scheduling.
+    spec.prompt_min = 16;
+    spec.prompt_max = 192;
+    spec.output_min = 4;
+    spec.output_max = 32;
+    const std::vector<Request> requests = generate_requests(spec);
+
+    ServingOptions off;
+    off.max_batch = 8;
+    off.max_step_tokens = 128;
+    off.tuple = {8, 7, 7, 6};
+    ServingOptions on = off;
+    on.attn_pricing = true;
+
+    // --- Default-off bit-identity. ---
+    const ServingReport base =
+        simulate_serving(model, system, tech16(), requests, off);
+    if (base.attn_cycles != 0 || base.kv_dram_bytes != 0) {
+        fail("attention accounting leaked into the default-off run");
+    }
+    for (std::size_t i = 0; i < base.steps.size(); ++i) {
+        if (base.steps[i].attn_cycles != 0 ||
+            base.steps[i].kv_bytes != 0) {
+            fail("step " + std::to_string(i) +
+                 " carries attention cost with pricing off");
+        }
+    }
+    ServingOptions explicit_off = off;
+    explicit_off.attn_pricing = false;
+    const ServingReport replay =
+        simulate_serving(model, system, tech16(), requests,
+                         explicit_off);
+    if (replay.summary() != base.summary()) {
+        fail("explicit attn_pricing=false diverges from the default");
+    }
+
+    // --- Additivity: same token plan, cost = GeMM + attention. ---
+    const ServingReport priced =
+        simulate_serving(model, system, tech16(), requests, on);
+    if (priced.steps.size() != base.steps.size()) {
+        fail("attention pricing changed the burst schedule");
+    } else {
+        std::uint64_t attn = 0;
+        std::uint64_t kv = 0;
+        for (std::size_t i = 0; i < base.steps.size(); ++i) {
+            const ServingStep &a = base.steps[i];
+            const ServingStep &b = priced.steps[i];
+            if (a.prefill_tokens != b.prefill_tokens ||
+                a.decode_tokens != b.decode_tokens) {
+                fail("step " + std::to_string(i) +
+                     " token plan moved under attention pricing");
+            }
+            if (b.cycles != a.cycles + b.attn_cycles) {
+                fail("step " + std::to_string(i) +
+                     " cost is not GeMM + attention");
+            }
+            if (b.attn_cycles == 0 || b.kv_bytes == 0) {
+                fail("step " + std::to_string(i) +
+                     " priced no attention work");
+            }
+            attn += b.attn_cycles;
+            kv += b.kv_bytes;
+        }
+        if (priced.attn_cycles != attn ||
+            priced.kv_dram_bytes != kv) {
+            fail("report attention totals do not sum the steps");
+        }
+        if (priced.total_cycles != base.total_cycles + attn) {
+            fail("total cycles are not GeMM total + attention total");
+        }
+    }
+    if (priced.summary().find("attn") == std::string::npos) {
+        fail("priced summary does not report the attention share");
+    }
+
+    // --- Context ordering: per-token decode cost grows strictly
+    // with the cached context. ---
+    std::uint64_t prev = 0;
+    for (const std::uint64_t context :
+         {std::uint64_t{128}, std::uint64_t{512}, std::uint64_t{1024},
+          std::uint64_t{2048}, std::uint64_t{4096}}) {
+        std::vector<SeqSlice> decode;
+        for (int i = 0; i < 8; ++i) {
+            decode.push_back({1, context});
+        }
+        const Workload w = build_decode_workload(
+            model, decode, PrecisionTuple{8, 7, 7, 6});
+        const SystemRun run = run_workload(system, tech16(), w);
+        if (run.cycles <= prev) {
+            fail("decode step cost did not grow at context " +
+                 std::to_string(context));
+        }
+        prev = run.cycles;
+    }
+
+    // --- Determinism. ---
+    const ServingReport again =
+        simulate_serving(model, system, tech16(), requests, on);
+    if (again.summary() != priced.summary()) {
+        fail("attention-priced run is not deterministic");
+    }
+
+    std::string summary = base.summary() + priced.summary();
+    std::fputs(summary.c_str(), stdout);
+    std::ofstream("attn_pricing_smoke_summary.txt") << summary;
+
+    if (g_failures != 0) {
+        std::fprintf(stderr, "attn_pricing_smoke: %d failure(s)\n",
+                     g_failures);
+        return 1;
+    }
+    std::puts("attn_pricing_smoke: OK");
+    return 0;
+}
