@@ -105,9 +105,10 @@ simulate_attn(const AcceleratorConfig &config, const TechParams &tech,
     const double bw = tech.dram_bits_per_cycle();
     const double macs_per_cycle =
         static_cast<double>(config.mxu_units) * 64.0;
-    // K and V of one attended row, FP32 (analyze_attn's element
-    // width).
-    const double row_bits = 2.0 * static_cast<double>(op.d_model) * 32.0;
+    // K and V of one attended row at the cache's storage width
+    // (analyze_attn prices the same op.kv_bits_per_elem).
+    const double row_bits =
+        2.0 * static_cast<double>(op.d_model) * op.kv_bits_per_elem;
     const double row_macs = 2.0 * static_cast<double>(op.d_model);
 
     // Two double-buffered resources, as in simulate_gemm: the DMA

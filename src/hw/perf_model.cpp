@@ -19,11 +19,6 @@ ceil_div(std::uint64_t a, std::uint64_t b)
 /// of 128.
 constexpr double kWeightBitsPerElem = 4.0 + 16.0 / 128.0;
 
-/// Cached K/V element width: FP32, matching the accuracy substrate's
-/// KvCache and the serving simulator's priced swap rows (quantized KV
-/// storage is a separate roadmap item).
-constexpr double kKvBitsPerElem = 32.0;
-
 /// Throughput-normalization unit count: all systems have the same
 /// bit-level compute budget, so an x-bit bit-parallel datapath fits
 /// 16/x times more group engines.
@@ -161,16 +156,19 @@ analyze_attn(const AcceleratorConfig &config, const TechParams &tech,
     const double layers = static_cast<double>(op.n_layers);
 
     // Every attended row's K and V stream from DRAM each pass (a
-    // multi-thousand-row FP32 cache cannot stay on chip), passing once
-    // through the activation buffer on the way to the MXU.
-    cost.kv_dram_bits = 2.0 * rows * dm * kKvBitsPerElem * layers;
+    // multi-thousand-row cache cannot stay on chip), passing once
+    // through the activation buffer on the way to the MXU — at the
+    // cache's storage width, so a quantized KV format thins exactly
+    // this stream.
+    cost.kv_dram_bits = 2.0 * rows * dm * op.kv_bits_per_elem * layers;
     cost.act_sram_bits = cost.kv_dram_bits;
 
     // QK^T and PV each cost d_model MACs per attended K/V row per
     // layer (the llm/opcount.h convention). The MXU runs them at its
     // peak bit-parallel rate — mxu_units engines x 64 MACs/cycle —
-    // identically on every system: attention operands are FP, outside
-    // the FP-INT datapaths, so no storage format shortens the pass.
+    // identically on every system: attention math runs on the
+    // dequantized float rows, outside the FP-INT datapaths, so the KV
+    // format changes the traffic, never the MAC count.
     const double macs = 2.0 * rows * dm * layers;
     const double macs_per_cycle =
         static_cast<double>(config.mxu_units) * 64.0;

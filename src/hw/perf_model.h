@@ -12,10 +12,13 @@
 /// *both* activation traffic and weight re-streaming. A tile pass
 /// costs `cycles_per_group` plane-cycles (Anda: M+1). Attention
 /// (AttnOp / analyze_attn) is priced separately: it is not an FP-INT
-/// tap — its operands are the FP32 cached K/V rows streamed from DRAM
-/// every step, so its cost scales with context length rather than
-/// weight volume. The tile-level cycle simulator (cycle_sim.h)
-/// validates both sets of formulas.
+/// tap — its operands are the cached K/V rows streamed from DRAM every
+/// step at the KV cache's storage width (32 bits/element for FP32, the
+/// format's bits_per_element() when the cache is quantized — see
+/// format/kv_format.h), so its cost scales with context length and
+/// shrinks with the KV format rather than the weight volume. The
+/// tile-level cycle simulator (cycle_sim.h) validates both sets of
+/// formulas.
 
 #include <cstdint>
 #include <string>
@@ -46,9 +49,11 @@ struct GemmOp {
 /// against its cached K/V context in every layer (the serving decode
 /// regime, Anda Sec. V). Unlike the FP-INT taps, attention has no
 /// weight stream — each step re-reads the sequence's cached K/V rows
-/// from DRAM, so the cost grows with context length and is identical
-/// across storage formats (K/V are cached as FP32; quantized KV is a
-/// separate roadmap item).
+/// from DRAM, so the cost grows with context length and with the KV
+/// storage width: kv_bits_per_elem is 32 for FP32 caches and the
+/// KvFormat's bits_per_element() for quantized ones, shrinking the
+/// DRAM stream (compute is unchanged — attention math always runs on
+/// the dequantized float rows).
 struct AttnOp {
     /// New query rows this pass (1 per decode step; the chunk length
     /// for a prefill chunk).
@@ -62,6 +67,9 @@ struct AttnOp {
     std::uint64_t d_model = 0;
     std::uint64_t n_layers = 0;
     std::string label;
+    /// DRAM bits per cached K/V element (the cache's storage width;
+    /// 32.0 keeps the FP32 pricing bit-identical to the legacy model).
+    double kv_bits_per_elem = 32.0;
 };
 
 /// Cost of one GeMM or attention pass.
@@ -149,11 +157,12 @@ GemmCost analyze_gemm(const AcceleratorConfig &config,
 
 /// Analyzes one attention pass: score/value MACs (2 x d_model per
 /// attended K/V row per layer, the llm/opcount.h convention) against
-/// the DRAM stream of the FP32 cached K and V rows. Every system is
-/// priced at the same peak MAC throughput (mxu_units x 64 MACs/cycle)
-/// — attention is outside the FP-INT datapaths, so no activation
-/// format shortens it, which is exactly why long-context decode is
-/// memory-bound on every configuration.
+/// the DRAM stream of the cached K and V rows at op.kv_bits_per_elem
+/// bits per element. Every system is priced at the same peak MAC
+/// throughput (mxu_units x 64 MACs/cycle) — attention is outside the
+/// FP-INT datapaths, so no *activation* format shortens it; only a
+/// quantized *KV* format thins the DRAM stream that makes
+/// long-context decode memory-bound.
 GemmCost analyze_attn(const AcceleratorConfig &config,
                       const TechParams &tech, const AttnOp &op);
 

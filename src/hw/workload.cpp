@@ -55,7 +55,8 @@ attn_kv_rows(const SeqSlice &slice)
 
 std::vector<AttnOp>
 build_attn_ops(const ModelConfig &model,
-               std::span<const SeqSlice> slices, bool decode)
+               std::span<const SeqSlice> slices, bool decode,
+               double kv_bits_per_elem)
 {
     const ModelDims &d = model.real;
     std::vector<AttnOp> ops;
@@ -67,7 +68,8 @@ build_attn_ops(const ModelConfig &model,
         }
         ops.push_back({s.rows, attn_kv_rows(s),
                        static_cast<std::uint64_t>(d.d_model),
-                       static_cast<std::uint64_t>(d.n_layers), label});
+                       static_cast<std::uint64_t>(d.n_layers), label,
+                       kv_bits_per_elem});
     }
     return ops;
 }
@@ -89,22 +91,24 @@ build_decode_workload(const ModelConfig &model, std::uint64_t batch,
 Workload
 build_prefill_workload(const ModelConfig &model,
                        std::span<const SeqSlice> slices,
-                       const PrecisionTuple &tuple)
+                       const PrecisionTuple &tuple,
+                       double kv_bits_per_elem)
 {
     Workload wl;
     wl.gemms = build_prefill_workload(model, total_rows(slices), tuple);
-    wl.attns = build_attn_ops(model, slices, false);
+    wl.attns = build_attn_ops(model, slices, false, kv_bits_per_elem);
     return wl;
 }
 
 Workload
 build_decode_workload(const ModelConfig &model,
                       std::span<const SeqSlice> slices,
-                      const PrecisionTuple &tuple)
+                      const PrecisionTuple &tuple,
+                      double kv_bits_per_elem)
 {
     Workload wl;
     wl.gemms = build_decode_workload(model, total_rows(slices), tuple);
-    wl.attns = build_attn_ops(model, slices, true);
+    wl.attns = build_attn_ops(model, slices, true, kv_bits_per_elem);
     return wl;
 }
 

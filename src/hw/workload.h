@@ -9,7 +9,9 @@
 /// alone (the legacy model); the ragged SeqSlice overloads
 /// additionally carry one AttnOp per sequence, pricing the per-layer
 /// K/V reads of its cached context — the traffic that makes a
-/// 4k-context decode step more expensive than an 8-token one.
+/// 4k-context decode step more expensive than an 8-token one — at the
+/// KV cache's storage width (`kv_bits_per_elem`: 32 for FP32 caches,
+/// KvFormat::bits_per_element() for quantized ones).
 
 #include <span>
 #include <vector>
@@ -33,11 +35,13 @@ struct SeqSlice {
 /// triangle of llm/opcount.h, offset by the cached context).
 std::uint64_t attn_kv_rows(const SeqSlice &slice);
 
-/// One AttnOp per non-empty slice, at the model's real dimensions.
+/// One AttnOp per non-empty slice, at the model's real dimensions,
+/// its cached K/V priced at `kv_bits_per_elem` bits per element.
 /// `decode` only picks the phase label ("attn-dec" vs "attn").
 std::vector<AttnOp> build_attn_ops(const ModelConfig &model,
                                    std::span<const SeqSlice> slices,
-                                   bool decode);
+                                   bool decode,
+                                   double kv_bits_per_elem = 32.0);
 
 /// GeMM list of a prefill over `seq` tokens. The tuple assigns each
 /// module type's activation mantissa (pass {16,16,16,16} for FP16
@@ -66,7 +70,8 @@ std::vector<GemmOp> build_decode_workload(const ModelConfig &model,
 /// its cached context.
 Workload build_prefill_workload(const ModelConfig &model,
                                 std::span<const SeqSlice> slices,
-                                const PrecisionTuple &tuple);
+                                const PrecisionTuple &tuple,
+                                double kv_bits_per_elem = 32.0);
 
 /// Ragged decode step: one slice per scheduled sequence (rows
 /// typically 1). GeMM taps identical to the aggregate overload at the
@@ -74,7 +79,8 @@ Workload build_prefill_workload(const ModelConfig &model,
 /// reads of all cached tokens.
 Workload build_decode_workload(const ModelConfig &model,
                                std::span<const SeqSlice> slices,
-                               const PrecisionTuple &tuple);
+                               const PrecisionTuple &tuple,
+                               double kv_bits_per_elem = 32.0);
 
 /// Convenience: workload at the model's maximum sequence length.
 std::vector<GemmOp> build_max_seq_workload(const ModelConfig &model,

@@ -21,12 +21,21 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "format/kv_format.h"
 
 namespace anda {
 
 /// One cached sequence: committed K/V rows across all layers, with
 /// row-level access so the attention gather and the append path do not
 /// depend on the physical layout (contiguous slab or paged).
+///
+/// Rows are stored in the cache's KvFormat: store_k/store_v pack a
+/// float row at write time (quantize-on-append), load_k/load_v unpack
+/// it back to float32 (dequantize-on-attend). Because quantization
+/// happens at the single store of each row, every read — including
+/// same-step reads of freshly appended rows — observes the same
+/// values, so decode remains invariant to prefill chunking and to the
+/// slab/paged layout choice for every format, not just FP32.
 class KvSeq {
   public:
     virtual ~KvSeq() = default;
@@ -34,6 +43,9 @@ class KvSeq {
     virtual std::size_t n_layers() const = 0;
     virtual std::size_t d_model() const = 0;
     virtual std::size_t max_seq() const = 0;
+
+    /// Storage format of the cached rows.
+    virtual const KvFormat &format() const = 0;
 
     /// Committed (cached) tokens.
     virtual std::size_t length() const = 0;
@@ -49,9 +61,26 @@ class KvSeq {
     /// writes. The rows must already fit (reserve first).
     virtual void advance(std::size_t n) = 0;
 
-    /// Row `pos` of the layer's K/V block; rows [0, length()) are
-    /// committed, rows past length() are writable scratch for the
-    /// step in flight (up to the reserved capacity).
+    /// Packs `row` (d_model floats) into row `pos` of the layer's K/V
+    /// block in the cache's format. Rows [0, length()) are committed;
+    /// rows past length() are scratch for the step in flight (up to
+    /// the reserved capacity). In FP32 this is a plain copy, so the
+    /// legacy float path is preserved bit-for-bit.
+    virtual void store_k(std::size_t layer, std::size_t pos,
+                         std::span<const float> row) = 0;
+    virtual void store_v(std::size_t layer, std::size_t pos,
+                         std::span<const float> row) = 0;
+
+    /// Unpacks row `pos` back to float32 into `out` (d_model floats) —
+    /// the values attention computes on.
+    virtual void load_k(std::size_t layer, std::size_t pos,
+                        std::span<float> out) const = 0;
+    virtual void load_v(std::size_t layer, std::size_t pos,
+                        std::span<float> out) const = 0;
+
+    /// Direct float views of row `pos` — FP32 layouts only (throws on
+    /// a quantized cache, whose rows have no in-place float image).
+    /// Quantization-agnostic callers use store_/load_ above.
     virtual std::span<float> k_row(std::size_t layer,
                                    std::size_t pos) = 0;
     virtual std::span<float> v_row(std::size_t layer,
@@ -72,23 +101,35 @@ class KvSeq {
 class KvCache final : public KvSeq {
   public:
     /// An empty cache for a model with `n_layers` layers, head
-    /// dimension summing to `d_model`, and a hard `max_seq` row bound.
-    /// Allocates nothing until reserve() is called.
+    /// dimension summing to `d_model`, and a hard `max_seq` row bound,
+    /// storing rows in `fmt` (FP32 keeps the legacy float slabs;
+    /// quantized formats store packed bytes). Allocates nothing until
+    /// reserve() is called.
     KvCache(std::size_t n_layers, std::size_t d_model,
-            std::size_t max_seq);
+            std::size_t max_seq, KvFormat fmt = KvFormat::fp32());
 
-    std::size_t n_layers() const override { return k_.size(); }
+    std::size_t n_layers() const override { return n_layers_; }
     std::size_t d_model() const override { return d_model_; }
     std::size_t max_seq() const override { return max_seq_; }
     std::size_t length() const override { return length_; }
+    const KvFormat &format() const override { return fmt_; }
 
     /// Allocated rows per layer (>= length()).
     std::size_t capacity() const { return capacity_; }
-    /// Allocated floats across all layers (K and V), the quantity a
-    /// scheduler budgets against.
+    /// Allocated floats across all layers (K and V) at the logical
+    /// d_model width — the token-capacity quantity the serving
+    /// scheduler budgets against when it counts in rows.
     std::size_t allocated_floats() const
     {
-        return 2 * k_.size() * capacity_ * d_model_;
+        return 2 * n_layers_ * capacity_ * d_model_;
+    }
+    /// Packed bytes of one K or V row in this cache's format.
+    std::size_t row_bytes() const { return row_bytes_; }
+    /// Physically allocated bytes across all layers (K and V) — what
+    /// a byte budget is charged.
+    std::size_t allocated_bytes() const
+    {
+        return 2 * n_layers_ * capacity_ * row_bytes_;
     }
 
     /// Growth is geometric (capacity at least doubles) so a decode
@@ -102,38 +143,49 @@ class KvCache final : public KvSeq {
     /// Frees all storage and resets the length (slot recycling).
     void release();
 
-    std::span<float> k_row(std::size_t layer, std::size_t pos) override
-    {
-        return k_[layer].row(pos);
-    }
-    std::span<float> v_row(std::size_t layer, std::size_t pos) override
-    {
-        return v_[layer].row(pos);
-    }
-    std::span<const float> k_row(std::size_t layer,
-                                 std::size_t pos) const override
-    {
-        return k_[layer].row(pos);
-    }
-    std::span<const float> v_row(std::size_t layer,
-                                 std::size_t pos) const override
-    {
-        return v_[layer].row(pos);
-    }
+    void store_k(std::size_t layer, std::size_t pos,
+                 std::span<const float> row) override;
+    void store_v(std::size_t layer, std::size_t pos,
+                 std::span<const float> row) override;
+    void load_k(std::size_t layer, std::size_t pos,
+                std::span<float> out) const override;
+    void load_v(std::size_t layer, std::size_t pos,
+                std::span<float> out) const override;
 
-    /// Whole-block views of the slab layout (tests and tools).
+    std::span<float> k_row(std::size_t layer, std::size_t pos) override;
+    std::span<float> v_row(std::size_t layer, std::size_t pos) override;
+    std::span<const float> k_row(std::size_t layer,
+                                 std::size_t pos) const override;
+    std::span<const float> v_row(std::size_t layer,
+                                 std::size_t pos) const override;
+
+    /// Raw packed bytes of one row (quantized layouts; tests).
+    std::span<const std::byte> packed_k_row(std::size_t layer,
+                                            std::size_t pos) const;
+    std::span<const std::byte> packed_v_row(std::size_t layer,
+                                            std::size_t pos) const;
+
+    /// Whole-block views of the FP32 slab layout (tests and tools).
     Matrix &k(std::size_t layer) { return k_[layer]; }
     Matrix &v(std::size_t layer) { return v_[layer]; }
     const Matrix &k(std::size_t layer) const { return k_[layer]; }
     const Matrix &v(std::size_t layer) const { return v_[layer]; }
 
   private:
+    std::size_t n_layers_ = 0;
     std::size_t d_model_ = 0;
     std::size_t max_seq_ = 0;
     std::size_t length_ = 0;
     std::size_t capacity_ = 0;
+    KvFormat fmt_;
+    std::size_t row_bytes_ = 0;
+    /// FP32 layout: per-layer float slabs (empty when quantized).
     std::vector<Matrix> k_;
     std::vector<Matrix> v_;
+    /// Quantized layout: per-layer packed slabs of capacity_ rows of
+    /// row_bytes_ bytes each (empty when FP32).
+    std::vector<std::vector<std::byte>> kq_;
+    std::vector<std::vector<std::byte>> vq_;
 };
 
 /// Non-owning view packing B independent per-sequence caches into one

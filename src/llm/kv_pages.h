@@ -23,13 +23,16 @@
 /// sequence's table (refcount bump, zero allocation, zero copies).
 /// A shared tail page is copy-on-extend: the first reserve() that
 /// appends into it allocates a private copy of the committed rows.
-/// Preemption: swap_out() serializes the committed rows and releases
-/// every page; swap_in() reloads them into freshly allocated pages.
+/// Preemption: swap_out() serializes the committed rows in their
+/// stored (packed) form and releases every page; swap_in() reloads
+/// them into freshly allocated pages byte-for-byte.
 ///
-/// Pool storage is plain float (fp32) regardless of the activation
-/// format under evaluation — matching KvCache, which also caches the
-/// post-tap fp32 K/V rows. Paging changes where rows live, never
-/// their values.
+/// Pool storage is held in the pool's KvFormat: FP32 keeps the legacy
+/// per-layer float pages, quantized formats store packed rows of
+/// kv_row_bytes() each, so a page's physical footprint shrinks with
+/// the format. Paging changes where rows live, never their values —
+/// and because rows are packed once at store time, neither does the
+/// format change values between layouts (see llm/kv_cache.h).
 
 #include <cstddef>
 #include <cstdint>
@@ -93,19 +96,29 @@ class KvPagePool {
   public:
     KvPagePool(std::size_t n_layers, std::size_t d_model,
                std::size_t max_seq, std::size_t page_size,
-               std::size_t n_pages, bool with_storage = true);
+               std::size_t n_pages, bool with_storage = true,
+               KvFormat fmt = KvFormat::fp32());
 
     std::size_t n_layers() const { return n_layers_; }
     std::size_t d_model() const { return d_model_; }
     std::size_t max_seq() const { return max_seq_; }
     std::size_t page_size() const { return page_size_; }
-    bool with_storage() const { return !k_.empty(); }
+    bool with_storage() const { return storage_; }
+    const KvFormat &format() const { return fmt_; }
+    /// Packed bytes of one K or V row in the pool's format.
+    std::size_t row_bytes() const { return row_bytes_; }
+    /// Physical bytes of one page (K and V, all layers) — what a byte
+    /// budget charges per allocated page.
+    std::size_t page_bytes() const
+    {
+        return 2 * n_layers_ * page_size_ * row_bytes_;
+    }
 
     KvPageAllocator &allocator() { return alloc_; }
     const KvPageAllocator &allocator() const { return alloc_; }
 
     /// Row `slot` of `page` in the layer's K (resp. V) storage.
-    /// Only valid on a pool with storage.
+    /// Only valid on an FP32 pool with storage.
     std::span<float> k_slot(std::size_t layer, PageId page,
                             std::size_t slot)
     {
@@ -127,14 +140,54 @@ class KvPagePool {
         return v_[layer].row(page * page_size_ + slot);
     }
 
+    /// Packed bytes of row `slot` of `page` (quantized pools with
+    /// storage).
+    std::span<std::byte> k_slot_bytes(std::size_t layer, PageId page,
+                                      std::size_t slot)
+    {
+        return {kq_[layer].data() +
+                    (page * page_size_ + slot) * row_bytes_,
+                row_bytes_};
+    }
+    std::span<std::byte> v_slot_bytes(std::size_t layer, PageId page,
+                                      std::size_t slot)
+    {
+        return {vq_[layer].data() +
+                    (page * page_size_ + slot) * row_bytes_,
+                row_bytes_};
+    }
+    std::span<const std::byte> k_slot_bytes(std::size_t layer,
+                                            PageId page,
+                                            std::size_t slot) const
+    {
+        return {kq_[layer].data() +
+                    (page * page_size_ + slot) * row_bytes_,
+                row_bytes_};
+    }
+    std::span<const std::byte> v_slot_bytes(std::size_t layer,
+                                            PageId page,
+                                            std::size_t slot) const
+    {
+        return {vq_[layer].data() +
+                    (page * page_size_ + slot) * row_bytes_,
+                row_bytes_};
+    }
+
   private:
     std::size_t n_layers_ = 0;
     std::size_t d_model_ = 0;
     std::size_t max_seq_ = 0;
     std::size_t page_size_ = 0;
+    KvFormat fmt_;
+    std::size_t row_bytes_ = 0;
+    bool storage_ = false;
     KvPageAllocator alloc_;
+    /// FP32 storage (empty when quantized or accounting-only).
     std::vector<Matrix> k_;
     std::vector<Matrix> v_;
+    /// Quantized packed storage (empty when FP32 or accounting-only).
+    std::vector<std::vector<std::byte>> kq_;
+    std::vector<std::vector<std::byte>> vq_;
 };
 
 /// One sequence over a shared KvPagePool. Unlike the slab cache,
@@ -153,6 +206,7 @@ class PagedKvCache final : public KvSeq {
     std::size_t n_layers() const override;
     std::size_t d_model() const override;
     std::size_t max_seq() const override;
+    const KvFormat &format() const override;
     std::size_t length() const override { return length_; }
 
     /// Pages this sequence references (shared pages count once here
@@ -169,6 +223,15 @@ class PagedKvCache final : public KvSeq {
     /// guarantee: the sequence is unchanged on throw).
     void reserve(std::size_t rows) override;
     void advance(std::size_t n) override;
+
+    void store_k(std::size_t layer, std::size_t pos,
+                 std::span<const float> row) override;
+    void store_v(std::size_t layer, std::size_t pos,
+                 std::span<const float> row) override;
+    void load_k(std::size_t layer, std::size_t pos,
+                std::span<float> out) const override;
+    void load_v(std::size_t layer, std::size_t pos,
+                std::span<float> out) const override;
 
     std::span<float> k_row(std::size_t layer, std::size_t pos) override;
     std::span<float> v_row(std::size_t layer, std::size_t pos) override;
@@ -197,17 +260,19 @@ class PagedKvCache final : public KvSeq {
     /// new_pages_needed for chunk planning under a page budget.
     std::size_t max_extension(std::size_t avail_pages) const;
 
-    /// Preempt: serializes the committed rows (layer-major K then V
-    /// per row; empty when the pool is accounting-only), then
-    /// releases every page and zeroes the length. The returned buffer
-    /// feeds swap_in() on readmission.
-    std::vector<float> swap_out();
+    /// Preempt: serializes the committed rows in their stored packed
+    /// form (layer-major, K then V per row, kv_row_bytes() each; raw
+    /// float bytes for FP32; empty when the pool is accounting-only),
+    /// then releases every page and zeroes the length. The returned
+    /// buffer feeds swap_in() on readmission.
+    std::vector<std::byte> swap_out();
 
     /// Readmit: restores `rows` committed rows from a swap_out()
-    /// buffer into freshly allocated pages. The sequence must be
-    /// empty; any sharing the sequence had before preemption is gone
-    /// (the restored pages are private).
-    void swap_in(std::span<const float> data, std::size_t rows);
+    /// buffer into freshly allocated pages (a byte copy — quantized
+    /// rows are never re-quantized by preemption). The sequence must
+    /// be empty; any sharing the sequence had before preemption is
+    /// gone (the restored pages are private).
+    void swap_in(std::span<const std::byte> data, std::size_t rows);
 
     /// Releases every page and zeroes the length (slot recycling).
     void release_all();

@@ -302,18 +302,17 @@ Transformer::run_block(std::size_t layer, Matrix &x,
         // Incremental decode: append each sequence's new rows to its
         // cache (rows are cache-absolute, continuing the prefix).
         // Row-by-row through KvSeq, so the physical layout (slab or
-        // paged) is the cache's business.
+        // paged) and storage format are the cache's business — a
+        // quantized cache packs here, at the row's single store, so
+        // every later read (including this step's attend below) sees
+        // the quantized values regardless of prefill chunking.
         std::size_t off = 0;
         for (std::size_t s = 0; s < seq_lens.size(); ++s) {
             KvSeq &c = kv->seq(s);
             const std::size_t base = c.length();
             for (std::size_t t = 0; t < seq_lens[s]; ++t) {
-                const auto ks = k.row(off + t);
-                const auto vs = v.row(off + t);
-                std::copy(ks.begin(), ks.end(),
-                          c.k_row(layer, base + t).begin());
-                std::copy(vs.begin(), vs.end(),
-                          c.v_row(layer, base + t).begin());
+                c.store_k(layer, base + t, k.row(off + t));
+                c.store_v(layer, base + t, v.row(off + t));
             }
             off += seq_lens[s];
         }
@@ -333,6 +332,11 @@ Transformer::run_block(std::size_t layer, Matrix &x,
         // one, from the local projection block.
         std::vector<std::span<const float>> krows;
         std::vector<std::span<const float>> vrows;
+        // Dequantize-on-attend scratch: a quantized cache has no
+        // in-place float rows, so its prefix is unpacked here once
+        // per (sequence, layer) and the spans point into the scratch.
+        Matrix kgat;
+        Matrix vgat;
         std::size_t r0 = 0;
         for (std::size_t s = 0; s < seq_lens.size(); ++s) {
             const std::size_t len = seq_lens[s];
@@ -347,9 +351,22 @@ Transformer::run_block(std::size_t layer, Matrix &x,
             vrows.resize(kv_len);
             if (kv != nullptr) {
                 const KvSeq &c = kv->seq(s);
-                for (std::size_t t = 0; t < kv_len; ++t) {
-                    krows[t] = c.k_row(layer, t);
-                    vrows[t] = c.v_row(layer, t);
+                if (c.format().quantized()) {
+                    if (kgat.rows() < kv_len) {
+                        kgat = Matrix(kv_len, d);
+                        vgat = Matrix(kv_len, d);
+                    }
+                    for (std::size_t t = 0; t < kv_len; ++t) {
+                        c.load_k(layer, t, kgat.row(t));
+                        c.load_v(layer, t, vgat.row(t));
+                        krows[t] = kgat.row(t);
+                        vrows[t] = vgat.row(t);
+                    }
+                } else {
+                    for (std::size_t t = 0; t < kv_len; ++t) {
+                        krows[t] = c.k_row(layer, t);
+                        vrows[t] = c.v_row(layer, t);
+                    }
                 }
             } else {
                 for (std::size_t t = 0; t < kv_len; ++t) {
@@ -529,11 +546,11 @@ Transformer::forward_hidden(std::span<const int> tokens_flat,
 }
 
 KvCache
-Transformer::make_cache() const
+Transformer::make_cache(const KvFormat &fmt) const
 {
     return KvCache(layers_.size(),
                    static_cast<std::size_t>(cfg_.sim.d_model),
-                   static_cast<std::size_t>(cfg_.sim.max_seq));
+                   static_cast<std::size_t>(cfg_.sim.max_seq), fmt);
 }
 
 std::vector<float>
@@ -657,6 +674,33 @@ Transformer::sequence_nll(std::span<const int> tokens,
 {
     const std::size_t len = tokens.size();
     return nll_stacked(tokens, {&len, 1}, opts)[0];
+}
+
+double
+Transformer::cached_sequence_nll(std::span<const int> tokens,
+                                 const RunOptions &opts,
+                                 const KvFormat &fmt) const
+{
+    ANDA_CHECK_GE(tokens.size(), 2u, "need at least two tokens for NLL");
+    kv_validate(fmt);
+    // One incremental pass through a cache in `fmt`: attention reads
+    // the K/V rows as stored, so a quantized format's accuracy cost
+    // lands exactly where decode would pay it. Chunking is
+    // irrelevant (rows are packed at their single store), so one
+    // full-sequence prefill measures the same values token-by-token
+    // decode would.
+    KvCache cache = make_cache(fmt);
+    BatchKvCache batch;
+    batch.add(cache);
+    const std::size_t len = tokens.size();
+    const Matrix x = forward_hidden(tokens, {&len, 1}, opts, &batch);
+    std::vector<float> logits(static_cast<std::size_t>(cfg_.sim.vocab));
+    double nll = 0.0;
+    for (std::size_t t = 0; t + 1 < len; ++t) {
+        final_logits_row(x.row(t), logits);
+        nll -= log_prob_of(logits, tokens[t + 1]);
+    }
+    return nll;
 }
 
 std::vector<double>

@@ -98,8 +98,18 @@ class Transformer {
               const RunOptions &opts) const;
 
     /// An empty KV cache sized for this model (grows on demand; see
-    /// llm/kv_cache.h).
-    KvCache make_cache() const;
+    /// llm/kv_cache.h), storing rows in `fmt` — FP32 by default.
+    KvCache make_cache(const KvFormat &fmt = KvFormat::fp32()) const;
+
+    /// sequence_nll evaluated through a KV cache stored in `fmt`: one
+    /// incremental pass whose attention reads K/V rows in the cached
+    /// format, so the returned NLL prices exactly what a serving
+    /// decode in that format computes (the perplexity axis of the
+    /// KV-quantization tradeoff). Bit-identical to sequence_nll when
+    /// `fmt` is FP32.
+    double cached_sequence_nll(std::span<const int> tokens,
+                               const RunOptions &opts,
+                               const KvFormat &fmt) const;
 
     /// Runs `tokens` through the model continuing the sequence cached
     /// in `cache` (positions start at cache.length(); an empty cache

@@ -33,7 +33,7 @@ struct Preempted {
     std::size_t remaining_prefill = 0;
     std::size_t remaining_output = 0;
     bool swapped = false;
-    std::vector<float> swap;
+    std::vector<std::byte> swap;
 };
 
 /// One planned scheduler step: the row counts the priced workload
@@ -304,6 +304,12 @@ ServingReport::summary() const
                     : 0.0)
             << "% of cycles, kv " << kv_dram_bytes << " B";
     }
+    // Quantized caches only: the FP32 default keeps the legacy
+    // summary string byte-for-byte.
+    if (!kv_format.empty() && kv_format != "fp32") {
+        out << "; kvfmt " << kv_format << " (" << kv_bytes_per_token
+            << " B/tok)";
+    }
     if (executed) {
         out << "; executed checksum " << std::hex
             << generated_checksum() << std::dec;
@@ -370,7 +376,7 @@ Workload
 build_step_workload(const ModelConfig &model,
                     std::span<const SeqSlice> prefill,
                     std::span<const SeqSlice> decode,
-                    const PrecisionTuple &tuple)
+                    const PrecisionTuple &tuple, double kv_bits_per_elem)
 {
     std::size_t prefill_tokens = 0;
     std::size_t decode_tokens = 0;
@@ -382,11 +388,13 @@ build_step_workload(const ModelConfig &model,
     }
     Workload wl;
     // The taps see the identical fused shapes the GeMM-only model
-    // prices — attention pricing only *adds* AttnOps on top.
+    // prices — attention pricing only *adds* AttnOps on top, streamed
+    // at the KV cache's storage width.
     wl.gemms =
         build_step_workload(model, prefill_tokens, decode_tokens, tuple);
-    wl.attns = build_attn_ops(model, decode, true);
-    std::vector<AttnOp> pre = build_attn_ops(model, prefill, false);
+    wl.attns = build_attn_ops(model, decode, true, kv_bits_per_elem);
+    std::vector<AttnOp> pre =
+        build_attn_ops(model, prefill, false, kv_bits_per_elem);
     wl.attns.insert(wl.attns.end(),
                     std::make_move_iterator(pre.begin()),
                     std::make_move_iterator(pre.end()));
@@ -397,8 +405,12 @@ ServingReport
 simulate_serving(const ModelConfig &model,
                  const AcceleratorConfig &system, const TechParams &tech,
                  std::span<const Request> requests,
-                 const ServingOptions &opts)
+                 const ServingOptions &opts_in)
 {
+    // Local copy: the kv_byte_budget knob is resolved into the native
+    // capacity knobs (max_cache_tokens / page_budget) up front, so
+    // every downstream gate reads one consistent set of limits.
+    ServingOptions opts = opts_in;
     ANDA_CHECK(!requests.empty(), "empty request stream");
     ANDA_CHECK(opts.max_batch > 0 && opts.max_step_tokens > 0,
                "zero serving batch or budget");
@@ -406,11 +418,38 @@ simulate_serving(const ModelConfig &model,
                "non-finite swap bandwidth");
     ANDA_CHECK(opts.swap_gbps >= 0.0, "negative swap bandwidth");
     ANDA_CHECK(opts.shed_timeout_s >= 0.0, "negative shed timeout");
+    kv_validate(opts.kv_format);
     const FaultInjector injector(opts.faults);  // Validates the spec.
     const bool faults_on = opts.faults.enabled();
     const bool exec = opts.executor != nullptr;
     const bool paged = opts.cache_policy == CachePolicy::kPaged;
     const std::size_t ps = opts.page_size;
+    // KV bytes of one cached token at the real model dims: K and V
+    // rows across every layer, at the cache format's packed width.
+    const std::size_t kv_bytes_per_token =
+        2 * static_cast<std::size_t>(model.real.n_layers) *
+        kv_row_bytes(opts.kv_format,
+                     static_cast<std::size_t>(model.real.d_model));
+    if (opts.kv_byte_budget > 0) {
+        if (paged) {
+            ANDA_CHECK(opts.page_budget == 0,
+                       "kv_byte_budget and page_budget are mutually "
+                       "exclusive");
+            ANDA_CHECK(ps > 0, "paged serving needs a page size");
+            opts.page_budget =
+                opts.kv_byte_budget / (ps * kv_bytes_per_token);
+            ANDA_CHECK(opts.page_budget > 0,
+                       "kv_byte_budget smaller than one page");
+        } else {
+            ANDA_CHECK(opts.max_cache_tokens == 0,
+                       "kv_byte_budget and max_cache_tokens are "
+                       "mutually exclusive");
+            opts.max_cache_tokens =
+                opts.kv_byte_budget / kv_bytes_per_token;
+            ANDA_CHECK(opts.max_cache_tokens > 0,
+                       "kv_byte_budget smaller than one cached token");
+        }
+    }
     ANDA_CHECK(!paged || (ps > 0 && opts.page_budget > 0),
                "paged serving needs a page budget");
     const std::size_t shared_len =
@@ -464,6 +503,8 @@ simulate_serving(const ModelConfig &model,
     ServingReport report;
     report.model = model.name;
     report.system = system.name;
+    report.kv_format = opts.kv_format.name();
+    report.kv_bytes_per_token = kv_bytes_per_token;
     if (paged) {
         report.page_size = ps;
         report.page_budget = opts.page_budget;
@@ -511,11 +552,15 @@ simulate_serving(const ModelConfig &model,
                          build_step_workload(model, 0, 1, opts.tuple))
                 .seconds(tech);
     }
-    // Priced bytes of one swapped KV row: K and V, FP32, real dims
-    // (the same dims the GeMM taps are priced at).
+    // Priced bytes of one swapped KV row: K and V at the cache
+    // format's packed width, real dims (the same dims the GeMM taps
+    // are priced at). For FP32 this is the legacy 8 * layers *
+    // d_model bytes exactly.
     const double row_bytes =
-        8.0 * static_cast<double>(model.real.n_layers) *
-        static_cast<double>(model.real.d_model);
+        2.0 * static_cast<double>(model.real.n_layers) *
+        static_cast<double>(kv_row_bytes(
+            opts.kv_format,
+            static_cast<std::size_t>(model.real.d_model)));
 
     report.executed = exec;
     std::vector<std::unique_ptr<ExecRequest>> exec_state(queue.size());
@@ -532,10 +577,11 @@ simulate_serving(const ModelConfig &model,
                 static_cast<std::size_t>(d.n_layers),
                 static_cast<std::size_t>(d.d_model),
                 static_cast<std::size_t>(d.max_seq), ps,
-                opts.page_budget, true);
+                opts.page_budget, true, opts.kv_format);
         } else {
-            pool = std::make_unique<KvPagePool>(
-                1, 1, max_rows, ps, opts.page_budget, false);
+            pool = std::make_unique<KvPagePool>(1, 1, max_rows, ps,
+                                                opts.page_budget, false,
+                                                opts.kv_format);
         }
     }
     std::vector<std::unique_ptr<PagedKvCache>> pcache(queue.size());
@@ -849,7 +895,8 @@ simulate_serving(const ModelConfig &model,
         }
         return run_workload(
             system, tech,
-            build_step_workload(model, prefill, decode, opts.tuple));
+            build_step_workload(model, prefill, decode, opts.tuple,
+                                opts.kv_format.bits_per_element()));
     };
 
     while (next < queue.size() || !waiting.empty() ||
@@ -1030,7 +1077,7 @@ simulate_serving(const ModelConfig &model,
                     opts.shared_prefix_len);
                 if (!paged) {
                     scache[cand] = std::make_unique<KvCache>(
-                        opts.executor->make_cache());
+                        opts.executor->make_cache(opts.kv_format));
                 }
             }
             waiting.erase(waiting.begin());

@@ -200,8 +200,9 @@ struct ServingOptions {
     /// 0 (default) keeps swaps free and step logs bit-identical to
     /// pre-pricing runs; > 0 stalls the timeline by bytes_per_row x
     /// rows moved on every swap-out and swap-in (bytes_per_row = 2
-    /// tensors x real n_layers x real d_model x 4 B, the priced FP32
-    /// KV row). Must be finite.
+    /// tensors x real n_layers x kv_row_bytes(kv_format, real
+    /// d_model) — the packed row the cache actually swaps, 4 B per
+    /// element for the FP32 default). Must be finite.
     double swap_gbps = 0.0;
     /// Price per-request attention and KV-cache DRAM traffic into
     /// every step (one AttnOp per scheduled sequence over its cached
@@ -211,6 +212,23 @@ struct ServingOptions {
     bool attn_pricing = false;
     /// Fault injection (default: inert). See serve/fault.h.
     FaultSpec faults;
+    /// Storage format of cached K/V rows (format/kv_format.h). FP32
+    /// (default) reproduces the legacy serving model bit-for-bit. A
+    /// quantized format shrinks every cached row to kv_row_bytes():
+    /// executed decode attends over the dequantized rows, priced
+    /// attention KV traffic (attn_pricing) streams at
+    /// bits_per_element(), swap traffic (swap_gbps) moves the packed
+    /// bytes, and kv_byte_budget admits against the packed footprint
+    /// — the capacity multiplier of docs/SERVING.md.
+    KvFormat kv_format = KvFormat::fp32();
+    /// KV capacity as a physical byte budget (0 = off). Converts to
+    /// the policy's native cap at the run's kv_format width — slab
+    /// policies derive max_cache_tokens = budget / bytes-per-token
+    /// (2 x real n_layers x kv_row_bytes(kv_format, real d_model)),
+    /// kPaged derives page_budget = budget / page-bytes — so the same
+    /// byte budget holds ~4x more tokens under a 4x narrower format.
+    /// Mutually exclusive with setting the derived knob directly.
+    std::size_t kv_byte_budget = 0;
 };
 
 /// Timeline of one request through the scheduler.
@@ -359,6 +377,12 @@ struct ServingReport {
     /// sequence and step.
     std::uint64_t attn_cycles = 0;
     std::uint64_t kv_dram_bytes = 0;
+    /// KV storage accounting: the run's format name ("fp32" when
+    /// unquantized) and the physical bytes one cached token occupies
+    /// across all layers (2 x real n_layers x kv_row_bytes at the
+    /// real d_model) — what ServingOptions::kv_byte_budget divides by.
+    std::string kv_format = "fp32";
+    std::size_t kv_bytes_per_token = 0;
 
     /// Generated tokens per second over the makespan.
     double output_tokens_per_s() const;
@@ -378,8 +402,10 @@ struct ServingReport {
     /// the determinism fingerprint generation_smoke pins.
     std::uint64_t generated_checksum() const;
     /// One-line human-readable summary for logs and CI artifacts
-    /// (gains a pages/preemptions segment under kPaged and a
-    /// robustness segment when drops / sheds / faults occurred).
+    /// (gains a pages/preemptions segment under kPaged, a robustness
+    /// segment when drops / sheds / faults occurred, and a kv segment
+    /// when the run stores K/V in a quantized format — FP32 runs keep
+    /// the legacy string byte-for-byte).
     std::string summary() const;
     /// Per-priority-class rollup, ascending priority. See ClassReport.
     std::vector<struct ClassReport> by_class() const;
@@ -444,7 +470,8 @@ std::vector<GemmOp> build_step_workload(const ModelConfig &model,
 Workload build_step_workload(const ModelConfig &model,
                              std::span<const SeqSlice> prefill,
                              std::span<const SeqSlice> decode,
-                             const PrecisionTuple &tuple);
+                             const PrecisionTuple &tuple,
+                             double kv_bits_per_elem = 32.0);
 
 /// The deterministic synthetic prompt execution mode feeds request
 /// `id`: BOS (0) followed by uniform tokens from the executor's sim

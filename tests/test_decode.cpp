@@ -620,7 +620,7 @@ TEST_F(DecodeTest, PostPreemptionDecodeIsBitExact)
 
         // kSwap: serialize, release, restore.
         const std::size_t rows = cache.length();
-        const std::vector<float> swapped = cache.swap_out();
+        const std::vector<std::byte> swapped = cache.swap_out();
         EXPECT_EQ(pool.allocator().used_pages(), 0u);
         cache.swap_in(swapped, rows);
 

@@ -248,8 +248,8 @@ TEST(PagedKvCache, SwapRoundTripRestoresRowsBitExactly)
     KvPagePool pool(2, 4, 64, 4, 8);
     PagedKvCache seq(pool);
     write_rows(seq, 23, 0, 7);
-    const std::vector<float> data = seq.swap_out();
-    EXPECT_EQ(data.size(), 2u * 2u * 7u * 4u);
+    const std::vector<std::byte> data = seq.swap_out();
+    EXPECT_EQ(data.size(), 2u * 2u * 7u * 4u * sizeof(float));
     EXPECT_EQ(seq.length(), 0u);
     EXPECT_EQ(seq.pages_held(), 0u);
     EXPECT_EQ(pool.allocator().used_pages(), 0u);
@@ -294,8 +294,8 @@ TEST(PagedKvCache, AccountingOnlyPoolMirrorsStoragePool)
         b.advance(rows - b.length());
         check();
     }
-    const std::vector<float> sa = a.swap_out();
-    const std::vector<float> sb = b.swap_out();
+    const std::vector<std::byte> sa = a.swap_out();
+    const std::vector<std::byte> sb = b.swap_out();
     EXPECT_TRUE(sb.empty());  // No storage: nothing serialized.
     check();
     a.swap_in(sa, 17);
@@ -450,7 +450,7 @@ TEST_P(KvPageStressTest, RandomizedOpsPreserveAllInvariants)
             // Swap a random sequence out and straight back in.
             ShadowSeq &s = live[rng.uniform_index(live.size())];
             const std::size_t rows = s.seq->length();
-            const std::vector<float> data = s.seq->swap_out();
+            const std::vector<std::byte> data = s.seq->swap_out();
             ASSERT_EQ(s.seq->pages_held(), 0u);
             if (PagedKvCache::pages_for(rows, kPageSize) <=
                 alloc.free_pages()) {
